@@ -1,0 +1,74 @@
+"""E2 — Corollary 2.2: size scaling in n, exponent 1 + 2/(k+1).
+
+Paper claim: the conversion applied to the greedy spanner has size
+``O(r^{2-2/(k+1)} n^{1+2/(k+1)} log n)`` — on a log-log plot of size vs n,
+the slope is about ``1 + 2/(k+1)`` (1.5 for k = 3, 1.33 for k = 5), and the
+slope *decreases* as the stretch grows.
+
+Workload: dense G(n, 0.5) hosts (so the spanner, not the host, is the
+binding quantity), r = 2, light schedule. We fit the log-log slope of the
+per-iteration greedy contribution's union.
+
+Shape to hold: slope(k=3) in a band around 1.5 (log-factor and small-n
+effects push it around), and slope(k=5) <= slope(k=3).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import log_log_slope, print_table
+from repro.core import fault_tolerant_spanner
+from repro.graph import gnp_random_graph
+from repro.spanners import conversion_size_bound
+
+NS = [50, 75, 110, 160]
+R = 2
+
+
+def sweep():
+    data = {}
+    for k in (3, 5):
+        sizes = []
+        for n in NS:
+            graph = gnp_random_graph(n, 0.5, seed=n)
+            result = fault_tolerant_spanner(
+                graph, k, R, schedule="light", constant=1.0, seed=n + k
+            )
+            sizes.append(result.num_edges)
+        data[k] = sizes
+    return data
+
+
+def test_e2_size_vs_n(benchmark):
+    data = run_once(benchmark, sweep)
+    slopes = {k: log_log_slope(NS, sizes) for k, sizes in data.items()}
+    print_table(
+        ["n", "size k=3", "size k=5", "bound k=3", "bound k=5"],
+        [
+            [
+                n,
+                data[3][i],
+                data[5][i],
+                conversion_size_bound(n, 3, R),
+                conversion_size_bound(n, 5, R),
+            ]
+            for i, n in enumerate(NS)
+        ],
+        title=(
+            "E2: size vs n at r=2 "
+            f"(log-log slopes: k=3 -> {slopes[3]:.2f}, k=5 -> {slopes[5]:.2f}; "
+            "theory exponents 1.50 / 1.33)"
+        ),
+        precision=0,
+    )
+    # Slopes in a generous band around the theoretical exponents.
+    assert 1.0 <= slopes[3] <= 2.0
+    assert 1.0 <= slopes[5] <= 2.0
+    # Larger stretch must not scale faster (allow small-sample noise).
+    assert slopes[5] <= slopes[3] + 0.2
+    # Sizes sit below the proved bound curve (unit constant is generous
+    # here because the light schedule drops an r factor).
+    for k in (3, 5):
+        for i, n in enumerate(NS):
+            assert data[k][i] <= 2.0 * conversion_size_bound(n, k, R)

@@ -1,0 +1,77 @@
+"""E5 — Section 3.2: knapsack-cover inequalities close an Ω(r) gap.
+
+Paper claim: on the M-gadget (one expensive arc plus r unit-cost
+two-paths), LP (3) *without* knapsack-cover inequalities sets
+``x_{uv} = 1/(r+1)`` and pays ``M/(r+1) + 2r`` while the optimum is
+``M + 2r`` — gap Ω(r). Adding the KC family (LP (4)) forces
+``x_{uv} = 1`` and closes the gap entirely.
+
+What we measure: LP (3), LP (4), the exact optimum, and the number of KC
+cuts the Lemma 3.2 separation oracle generated.
+
+Shape to hold: gap without KC strictly increasing and ~linear in r; gap
+with KC equal to 1 everywhere; oracle generates at least one cut per run.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import print_table
+from repro.graph import knapsack_gap_gadget
+from repro.two_spanner import (
+    exact_minimum_ft2_spanner,
+    kc_gap_on_gadget,
+    solve_ft2_lp,
+)
+
+M = 1000.0
+R_VALUES = [1, 2, 4, 8]
+
+
+def sweep():
+    rows = []
+    for r in R_VALUES:
+        gap = kc_gap_on_gadget(r, expensive_cost=M)
+        cuts = solve_ft2_lp(knapsack_gap_gadget(r, M), r).cuts_added
+        exact = (
+            exact_minimum_ft2_spanner(knapsack_gap_gadget(r, M), r).cost
+            if 2 * r + 1 <= 17
+            else float("nan")
+        )
+        rows.append(
+            {
+                "r": r,
+                "lp3": gap.lp3_value,
+                "lp4": gap.lp4_value,
+                "opt": gap.opt,
+                "exact": exact,
+                "gap3": gap.gap_without_kc,
+                "gap4": gap.gap_with_kc,
+                "cuts": cuts,
+            }
+        )
+    return rows
+
+
+def test_e5_kc_gap(benchmark):
+    rows = run_once(benchmark, sweep)
+    print_table(
+        ["r", "LP(3) no KC", "LP(4) with KC", "optimum", "exact B&B",
+         "gap w/o KC", "gap with KC", "KC cuts"],
+        [
+            [row["r"], row["lp3"], row["lp4"], row["opt"], row["exact"],
+             row["gap3"], row["gap4"], row["cuts"]]
+            for row in rows
+        ],
+        title=f"E5: the M-gadget (M = {M:.0f})",
+    )
+    gaps3 = [row["gap3"] for row in rows]
+    assert all(b > a for a, b in zip(gaps3, gaps3[1:]))
+    # asymptotically gap3 -> r + 1; at r=8 it must exceed 5.
+    assert gaps3[-1] >= 5.0
+    for row in rows:
+        assert abs(row["gap4"] - 1.0) <= 1e-6
+        assert row["cuts"] >= 1
+        if row["exact"] == row["exact"]:  # not NaN
+            assert row["exact"] == row["opt"]

@@ -1,0 +1,92 @@
+"""E8 — Lemma 3.7: padded decompositions in O(log n) rounds.
+
+Paper claim (Definition 3.6 + Lemma 3.7): the distributed Bartal-style
+sampler runs in O(log n) LOCAL rounds and outputs a partition whose
+clusters have (weak) diameter O(log n) and in which every vertex's closed
+neighbourhood is uncut with probability at least 1/2.
+
+Workload: square grids (large hop diameter, so the O(log n) cluster
+diameter is a real constraint, unlike expanders where everything is
+3 hops wide). Each size is sampled several times; padding is averaged.
+
+Shape to hold: rounds and measured max weak diameter grow ~logarithmically
+with n (both are <= their O(log n) caps); mean padded fraction >= 1/2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import print_table
+from repro.distributed import (
+    default_radius_cap,
+    distributed_padded_decomposition,
+    sample_padded_decomposition,
+)
+from repro.graph import grid_graph
+from repro.rng import ensure_rng
+
+SIDES = [5, 8, 11, 14]
+SAMPLES = 6
+
+
+def sweep():
+    rows = []
+    rng = ensure_rng(0)
+    for side in SIDES:
+        grid = grid_graph(side, side)
+        n = grid.num_vertices
+        diam_worst = 0
+        padded_total = 0.0
+        clusters_total = 0
+        rounds = 0
+        for i in range(SAMPLES):
+            if i == 0:
+                # one genuinely message-passing run per size
+                dec, sim = distributed_padded_decomposition(grid, seed=rng)
+                rounds = sim.rounds
+            else:
+                dec = sample_padded_decomposition(grid, seed=rng)
+            diam_worst = max(diam_worst, dec.max_weak_diameter(grid))
+            padded_total += dec.padded_fraction(grid)
+            clusters_total += len(dec.clusters)
+        rows.append(
+            {
+                "n": n,
+                "cap": default_radius_cap(n),
+                "rounds": rounds,
+                "diam": diam_worst,
+                "padded": padded_total / SAMPLES,
+                "clusters": clusters_total / SAMPLES,
+            }
+        )
+    return rows
+
+
+def test_e8_padded_decomposition(benchmark):
+    rows = run_once(benchmark, sweep)
+    print_table(
+        ["n", "radius cap (8 ln n)", "LOCAL rounds", "max weak diam",
+         "mean padded fraction", "mean #clusters"],
+        [
+            [row["n"], row["cap"], row["rounds"], row["diam"],
+             row["padded"], row["clusters"]]
+            for row in rows
+        ],
+        title="E8: padded decompositions of square grids "
+        f"({SAMPLES} samples per size)",
+    )
+    for row in rows:
+        # Definition 3.6 item 1: weak diameter O(log n) (<= 2 * cap).
+        assert 0 <= row["diam"] <= 2 * row["cap"]
+        # Definition 3.6 item 2: padding probability >= 1/2 (on average).
+        assert row["padded"] >= 0.5
+        # Lemma 3.7: O(log n) rounds.
+        assert row["rounds"] <= row["cap"] + 1
+    # Rounds grow at most logarithmically: compare endpoints.
+    n_small, n_big = rows[0]["n"], rows[-1]["n"]
+    assert rows[-1]["rounds"] <= rows[0]["rounds"] * (
+        math.log(n_big) / math.log(n_small)
+    ) + 2

@@ -1,0 +1,49 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each ``bench_e*.py`` file reproduces one experiment from DESIGN.md §3. The
+convention: the whole sweep runs once inside ``benchmark.pedantic`` (so
+pytest-benchmark records its wall time), prints a paper-style table, and
+asserts the qualitative *shape* the paper claims (who wins, how quantities
+scale). Absolute constants are environment-dependent and are not asserted.
+
+The printed tables *are* the experiment output, but pytest captures test
+stdout; so :func:`repro.analysis.tables.print_table` also appends every
+table to the file named by ``REPRO_TABLE_LOG`` (set here), and
+:func:`pytest_terminal_summary` replays the log in the uncaptured terminal
+summary — the tables therefore always appear in
+``pytest benchmarks/ --benchmark-only`` output and in anything it is teed
+to.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+_TABLE_LOG = os.path.join(os.path.dirname(__file__), ".tables.log")
+
+
+def pytest_configure(config):
+    """Start a fresh table log for this benchmark session."""
+    if os.path.exists(_TABLE_LOG):
+        os.remove(_TABLE_LOG)
+    os.environ["REPRO_TABLE_LOG"] = _TABLE_LOG
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every experiment table after the test results."""
+    if not os.path.exists(_TABLE_LOG):
+        return
+    with open(_TABLE_LOG, "r", encoding="utf-8") as handle:
+        content = handle.read().rstrip()
+    if not content:
+        return
+    terminalreporter.section("experiment tables")
+    for line in content.splitlines():
+        terminalreporter.write_line(line)
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

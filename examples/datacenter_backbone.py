@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Scenario: a sparse fault-tolerant backbone for a datacenter-style fabric.
+
+The motivating application of fault-tolerant spanners in the paper is
+distributed systems: keep a *sparse* overlay such that even after some
+machines fail, the overlay still approximates the surviving network's
+distances. This example:
+
+1. builds a two-tier "fabric" (racks as dense clusters, a random
+   inter-rack mesh — a stand-in for a real topology trace);
+2. extracts an r-fault-tolerant 3-spanner backbone with the Theorem 2.1
+   conversion;
+3. kills random machine sets and measures route-length inflation on the
+   backbone versus the full fabric, and compares against a *non*-fault-
+   tolerant greedy spanner, which degrades badly under the same faults.
+
+Run:  python examples/datacenter_backbone.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import (
+    fault_tolerant_spanner_until_valid,
+    is_fault_tolerant_spanner,
+)
+from repro.analysis import print_table, sampled_stretch_profile
+from repro.graph import Graph
+from repro.spanners import greedy_spanner
+
+
+def build_fabric(
+    racks: int, per_rack: int, inter_rack_degree: int, seed: int
+) -> Graph:
+    """A two-tier fabric: cliques per rack plus a random inter-rack mesh."""
+    rng = random.Random(seed)
+    g = Graph()
+    for rack in range(racks):
+        hosts = [(rack, i) for i in range(per_rack)]
+        g.add_vertices(hosts)
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1:]:
+                g.add_edge(a, b, 1.0)  # intra-rack hop
+    for rack in range(racks):
+        for _ in range(inter_rack_degree):
+            other = rng.randrange(racks)
+            if other == rack:
+                continue
+            a = (rack, rng.randrange(per_rack))
+            b = (other, rng.randrange(per_rack))
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b, 4.0)  # inter-rack link is slower
+    return g
+
+
+def main() -> None:
+    r = 2
+    fabric = build_fabric(racks=6, per_rack=10, inter_rack_degree=5, seed=7)
+    print(f"fabric: n={fabric.num_vertices}, m={fabric.num_edges}")
+
+    # Adaptive mode: add oversampling iterations until a Monte Carlo
+    # verifier accepts (exhaustive checking is exponential in r; at this
+    # scale we verify statistically and report the measured profile).
+    from repro.core import sampled_fault_check
+
+    ft = fault_tolerant_spanner_until_valid(
+        fabric,
+        k=3,
+        r=r,
+        validity_check=lambda h: sampled_fault_check(
+            h, fabric, 3, r, trials=150, seed=99
+        ),
+        batch=8,
+        seed=8,
+    )
+    plain = greedy_spanner(fabric, 3)
+
+    rows = []
+    for name, overlay in [("ft-backbone", ft.spanner), ("plain greedy", plain)]:
+        profile = sampled_stretch_profile(
+            overlay, fabric, r, trials=60, seed=9
+        )
+        rows.append(
+            [
+                name,
+                overlay.num_edges,
+                f"{100.0 * overlay.num_edges / fabric.num_edges:.0f}%",
+                profile.max if not math.isinf(profile.max) else math.inf,
+                f"{100.0 * profile.fraction_within(3.0):.0f}%",
+            ]
+        )
+    print_table(
+        ["overlay", "edges", "of fabric", "worst stretch", "fault sets ok"],
+        rows,
+        title=f"route quality under {r} random machine failures (60 trials)",
+    )
+    print(
+        "The fault-tolerant backbone keeps every failure scenario within the\n"
+        "stretch budget; the plain spanner has no such guarantee and can even\n"
+        "disconnect surviving machines (stretch = inf)."
+    )
+
+
+if __name__ == "__main__":
+    main()

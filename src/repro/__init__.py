@@ -1,0 +1,77 @@
+"""repro — fault-tolerant graph spanners.
+
+A from-scratch reproduction of Dinitz & Krauthgamer, *Fault-Tolerant
+Spanners: Better and Simpler* (PODC 2011):
+
+* :mod:`repro.core` — the Theorem 2.1 fault-oversampling conversion
+  (r-fault-tolerant k-spanners, polynomial in r), the CLPR09 baseline, and
+  fault-tolerance verifiers;
+* :mod:`repro.two_spanner` — the Section 3 knapsack-cover LP relaxation
+  and the O(log n) / O(log Δ) approximation algorithms for Minimum Cost
+  r-Fault Tolerant 2-Spanner;
+* :mod:`repro.distributed` + :mod:`repro.distsim` — the LOCAL-model
+  versions (Theorem 2.3, Lemma 3.7 padded decompositions, Algorithm 2);
+* :mod:`repro.graph`, :mod:`repro.spanners`, :mod:`repro.lp`,
+  :mod:`repro.analysis` — the substrates everything is built on.
+
+Quickstart::
+
+    from repro import fault_tolerant_spanner, is_fault_tolerant_spanner
+    from repro.graph import connected_gnp_graph
+
+    g = connected_gnp_graph(60, 0.2, seed=0)
+    result = fault_tolerant_spanner(g, k=3, r=2, seed=1)
+    assert is_fault_tolerant_spanner(result.spanner, g, k=3, r=2)
+"""
+
+from .core import (
+    clpr_fault_tolerant_spanner,
+    fault_tolerant_spanner,
+    fault_tolerant_spanner_until_valid,
+    is_fault_tolerant_spanner,
+    is_ft_2spanner,
+    sampled_fault_check,
+)
+from .distributed import (
+    distributed_ft2_spanner,
+    distributed_ft_spanner,
+    distributed_padded_decomposition,
+    sample_padded_decomposition,
+)
+from .errors import ReproError
+from .graph import DiGraph, Graph
+from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
+from .two_spanner import (
+    approximate_ft2_spanner,
+    dk10_baseline,
+    exact_minimum_ft2_spanner,
+    moser_tardos_rounding,
+    solve_ft2_lp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "ReproError",
+    "approximate_ft2_spanner",
+    "baswana_sen_spanner",
+    "clpr_fault_tolerant_spanner",
+    "distributed_ft2_spanner",
+    "distributed_ft_spanner",
+    "distributed_padded_decomposition",
+    "dk10_baseline",
+    "exact_minimum_ft2_spanner",
+    "fault_tolerant_spanner",
+    "fault_tolerant_spanner_until_valid",
+    "greedy_spanner",
+    "is_fault_tolerant_spanner",
+    "is_ft_2spanner",
+    "moser_tardos_rounding",
+    "sample_padded_decomposition",
+    "sampled_fault_check",
+    "solve_ft2_lp",
+    "thorup_zwick_spanner",
+    "__version__",
+]

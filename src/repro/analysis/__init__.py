@@ -1,0 +1,36 @@
+"""Measurement and reporting harness shared by tests and benchmarks."""
+
+from .experiments import (
+    ExperimentResult,
+    TrialFunction,
+    compare_experiments,
+    run_experiment,
+)
+
+from .stats import Summary, geometric_mean, growth_ratios, log_log_slope, summarize
+from .stretch import (
+    StretchProfile,
+    exhaustive_stretch_profile,
+    sampled_stretch_profile,
+    stretch_after_faults,
+)
+from .tables import format_cell, print_table, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "StretchProfile",
+    "Summary",
+    "TrialFunction",
+    "compare_experiments",
+    "exhaustive_stretch_profile",
+    "format_cell",
+    "geometric_mean",
+    "growth_ratios",
+    "log_log_slope",
+    "print_table",
+    "render_table",
+    "run_experiment",
+    "sampled_stretch_profile",
+    "stretch_after_faults",
+    "summarize",
+]

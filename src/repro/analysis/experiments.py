@@ -1,0 +1,105 @@
+"""A small multi-trial experiment runner.
+
+Randomized algorithms need multi-seed aggregation before their numbers
+mean anything; this module gives benchmarks and notebooks a uniform way to
+run ``trial(seed) -> {metric: value}`` functions across seeds and collect
+per-metric summaries, without each experiment re-inventing the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .stats import Summary, summarize
+from .tables import render_table
+
+#: A trial: seed in, named metrics out.
+TrialFunction = Callable[[int], Mapping[str, float]]
+
+
+@dataclass
+class ExperimentResult:
+    """All trial records of one experiment plus aggregation helpers."""
+
+    name: str
+    records: List[Dict[str, float]] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.records)
+
+    def metrics(self) -> List[str]:
+        """Metric names, in first-seen order across records."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            for key in record:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def values(self, metric: str) -> List[float]:
+        """All recorded values of one metric (records missing it skipped)."""
+        return [r[metric] for r in self.records if metric in r]
+
+    def summary(self, metric: str) -> Summary:
+        """Mean/std/min/max of one metric across trials."""
+        return summarize(self.values(metric))
+
+    def summaries(self) -> Dict[str, Summary]:
+        return {metric: self.summary(metric) for metric in self.metrics()}
+
+    def to_table(self, precision: int = 2) -> str:
+        """Render a metric-per-row summary table."""
+        rows = []
+        for metric, s in self.summaries().items():
+            rows.append([metric, s.count, s.mean, s.std, s.minimum, s.maximum])
+        return render_table(
+            ["metric", "trials", "mean", "std", "min", "max"],
+            rows,
+            title=f"experiment: {self.name}",
+            precision=precision,
+        )
+
+
+def run_experiment(
+    name: str,
+    trial: TrialFunction,
+    seeds: Iterable[int],
+    on_error: str = "raise",
+) -> ExperimentResult:
+    """Run ``trial`` for every seed and collect the records.
+
+    ``on_error`` is ``"raise"`` (default) or ``"skip"`` — skipping records
+    nothing for a failed seed but keeps going, which suits Monte Carlo
+    sweeps where rare seeds hit solver limits.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    result = ExperimentResult(name=name)
+    for seed in seeds:
+        try:
+            record = dict(trial(seed))
+        except Exception:
+            if on_error == "raise":
+                raise
+            continue
+        result.records.append(record)
+        result.seeds.append(seed)
+    return result
+
+
+def compare_experiments(
+    results: Sequence[ExperimentResult], metric: str, precision: int = 2
+) -> str:
+    """Side-by-side table of one metric across several experiments."""
+    rows = []
+    for result in results:
+        s = result.summary(metric)
+        rows.append([result.name, s.count, s.mean, s.std, s.minimum, s.maximum])
+    return render_table(
+        ["experiment", "trials", "mean", "std", "min", "max"],
+        rows,
+        title=f"metric: {metric}",
+        precision=precision,
+    )

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints its measurements as a paper-style table; this module
+is the single formatter so all experiments look alike in the logs and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value, precision: int = 2) -> str:
+    """Human formatting: ints plain, floats rounded, inf/nan symbolic."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table with a rule under the header."""
+    materialized: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> None:
+    """Render and print (with surrounding blank lines for log readability).
+
+    When the ``REPRO_TABLE_LOG`` environment variable names a file, the
+    rendered table is also appended there — the benchmark harness uses
+    this to replay every experiment table in pytest's (uncaptured)
+    terminal summary.
+    """
+    import os
+
+    text = render_table(headers, rows, title=title, precision=precision)
+    print()
+    print(text)
+    print()
+    log_path = os.environ.get("REPRO_TABLE_LOG")
+    if log_path:
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")

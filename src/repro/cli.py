@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — create a workload graph and write it as JSON;
+* ``ft-spanner`` — build an r-fault-tolerant k-spanner (Theorem 2.1
+  conversion) of a JSON graph, optionally verify and export it;
+* ``ft2-approx`` — run the Theorem 3.3 O(log n)-approximation for Minimum
+  Cost r-Fault Tolerant 2-Spanner on a JSON digraph;
+* ``verify`` — check a spanner file against a host file for a given
+  ``(k, r)``, with exhaustive / sampled / Lemma 3.1 modes.
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .core import (
+    fault_tolerant_spanner,
+    is_fault_tolerant_spanner,
+    is_ft_2spanner,
+    sampled_fault_check,
+)
+from .errors import ReproError
+from .graph import (
+    complete_graph,
+    connected_gnp_graph,
+    dump_json,
+    gnp_random_digraph,
+    gnp_random_graph,
+    grid_graph,
+    load_json,
+    random_geometric_graph,
+    random_regular_graph,
+    to_dot,
+)
+from .two_spanner import approximate_ft2_spanner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant spanners (Dinitz & Krauthgamer, PODC 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload graph (JSON)")
+    gen.add_argument(
+        "kind",
+        choices=["gnp", "gnp-connected", "gnp-digraph", "complete", "grid",
+                 "regular", "geometric"],
+    )
+    gen.add_argument("--n", type=int, default=30, help="vertex count / grid side")
+    gen.add_argument("--p", type=float, default=0.3, help="edge probability")
+    gen.add_argument("--degree", type=int, default=4, help="regular degree")
+    gen.add_argument("--radius", type=float, default=0.3, help="geometric radius")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output JSON path")
+
+    ft = sub.add_parser("ft-spanner", help="Theorem 2.1 conversion")
+    ft.add_argument("graph", help="host graph JSON path")
+    ft.add_argument("--k", type=float, default=3.0, help="stretch bound")
+    ft.add_argument("--r", type=int, default=1, help="fault tolerance")
+    ft.add_argument("--schedule", choices=["theorem", "light"], default="theorem")
+    ft.add_argument("--iterations", type=int, default=None)
+    ft.add_argument("--seed", type=int, default=0)
+    ft.add_argument("--out", default=None, help="write the spanner JSON here")
+    ft.add_argument("--dot", default=None, help="write a DOT rendering here")
+    ft.add_argument(
+        "--verify",
+        choices=["none", "exhaustive", "sampled"],
+        default="sampled",
+    )
+
+    approx = sub.add_parser("ft2-approx", help="Theorem 3.3 approximation")
+    approx.add_argument("graph", help="host digraph JSON path")
+    approx.add_argument("--r", type=int, default=1)
+    approx.add_argument("--seed", type=int, default=0)
+    approx.add_argument("--out", default=None, help="write the spanner JSON here")
+
+    ver = sub.add_parser("verify", help="verify a spanner against a host graph")
+    ver.add_argument("graph", help="host graph JSON path")
+    ver.add_argument("spanner", help="spanner JSON path")
+    ver.add_argument("--k", type=float, default=3.0)
+    ver.add_argument("--r", type=int, default=1)
+    ver.add_argument(
+        "--mode", choices=["exhaustive", "sampled", "lemma31"], default="sampled"
+    )
+    ver.add_argument("--trials", type=int, default=100)
+    ver.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "gnp":
+        graph = gnp_random_graph(args.n, args.p, seed=args.seed)
+    elif args.kind == "gnp-connected":
+        graph = connected_gnp_graph(args.n, args.p, seed=args.seed)
+    elif args.kind == "gnp-digraph":
+        graph = gnp_random_digraph(args.n, args.p, seed=args.seed)
+    elif args.kind == "complete":
+        graph = complete_graph(args.n)
+    elif args.kind == "grid":
+        graph = grid_graph(args.n, args.n)
+    elif args.kind == "regular":
+        graph = random_regular_graph(args.n, args.degree, seed=args.seed)
+    else:  # geometric
+        graph = random_geometric_graph(args.n, args.radius, seed=args.seed)
+    dump_json(graph, args.out)
+    print(
+        f"wrote {args.kind} graph (n={graph.num_vertices}, "
+        f"m={graph.num_edges}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_ft_spanner(args) -> int:
+    graph = load_json(args.graph)
+    result = fault_tolerant_spanner(
+        graph,
+        args.k,
+        args.r,
+        iterations=args.iterations,
+        schedule=args.schedule,
+        seed=args.seed,
+    )
+    rows = [
+        ["host edges", graph.num_edges],
+        ["spanner edges", result.num_edges],
+        ["iterations", result.stats.iterations],
+        ["max survivor |G\\J|", result.stats.max_survivor_size],
+    ]
+    if args.verify == "exhaustive":
+        ok = is_fault_tolerant_spanner(result.spanner, graph, args.k, args.r)
+        rows.append(["exhaustively valid", ok])
+    elif args.verify == "sampled":
+        ok = sampled_fault_check(
+            result.spanner, graph, args.k, args.r, trials=100, seed=args.seed
+        )
+        rows.append(["sampled-valid (100 trials)", ok])
+    else:
+        ok = True
+    print(render_table(["quantity", "value"],
+                       rows, title=f"ft-spanner k={args.k} r={args.r}"))
+    if args.out:
+        dump_json(result.spanner, args.out)
+        print(f"spanner written to {args.out}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(graph, highlight=result.spanner))
+        print(f"DOT rendering written to {args.dot}")
+    return 0 if ok else 2
+
+
+def _cmd_ft2_approx(args) -> int:
+    graph = load_json(args.graph)
+    result = approximate_ft2_spanner(graph, args.r, seed=args.seed)
+    valid = is_ft_2spanner(result.spanner, graph, args.r)
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["arcs", graph.num_edges],
+                ["LP (4) optimum", result.lp_objective],
+                ["rounded cost", result.cost],
+                ["cost / LP", result.ratio_vs_lp],
+                ["alpha", result.alpha],
+                ["rounding attempts", result.rounding.attempts],
+                ["repaired edges", len(result.rounding.repaired_edges)],
+                ["valid (Lemma 3.1)", valid],
+            ],
+            title=f"ft2-approx r={args.r}",
+        )
+    )
+    if args.out:
+        dump_json(result.spanner, args.out)
+        print(f"spanner written to {args.out}")
+    return 0 if valid else 2
+
+
+def _cmd_verify(args) -> int:
+    graph = load_json(args.graph)
+    spanner = load_json(args.spanner)
+    if args.mode == "exhaustive":
+        ok = is_fault_tolerant_spanner(spanner, graph, args.k, args.r)
+    elif args.mode == "sampled":
+        ok = sampled_fault_check(
+            spanner, graph, args.k, args.r, trials=args.trials, seed=args.seed
+        )
+    else:
+        ok = is_ft_2spanner(spanner, graph, args.r)
+    print(f"{args.mode} verification (k={args.k}, r={args.r}): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "ft-spanner": _cmd_ft_spanner,
+        "ft2-approx": _cmd_ft2_approx,
+        "verify": _cmd_verify,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's primary contribution for stretch ``k >= 3``.
+
+:mod:`repro.core.conversion` implements the Theorem 2.1 fault-oversampling
+conversion (and its Corollary 2.2 instantiation with the greedy spanner),
+:mod:`repro.core.clpr` the CLPR09 exponential-in-r baseline it improves on,
+and :mod:`repro.core.verify` the exhaustive / sampled / Lemma 3.1 verifiers
+used by tests and benchmarks.
+"""
+
+from .clpr import CLPRResult, clpr_fault_tolerant_spanner
+from .edge_faults import (
+    edge_fault_sets,
+    edge_fault_tolerant_spanner,
+    edge_satisfied_for_edge_faults,
+    is_edge_fault_tolerant_spanner,
+    is_edge_ft_2spanner,
+    sampled_edge_fault_check,
+)
+from .conversion import (
+    BaseSpannerAlgorithm,
+    ConversionResult,
+    ConversionStats,
+    fault_tolerant_spanner,
+    fault_tolerant_spanner_until_valid,
+    resolve_iterations,
+    survival_probability,
+)
+from .verify import (
+    count_fault_sets,
+    count_two_paths,
+    edge_satisfied,
+    fault_sets,
+    first_violating_fault_set,
+    is_fault_tolerant_spanner,
+    is_ft_2spanner,
+    sampled_fault_check,
+    unsatisfied_edges,
+)
+
+__all__ = [
+    "BaseSpannerAlgorithm",
+    "CLPRResult",
+    "ConversionResult",
+    "ConversionStats",
+    "clpr_fault_tolerant_spanner",
+    "count_fault_sets",
+    "count_two_paths",
+    "edge_fault_sets",
+    "edge_fault_tolerant_spanner",
+    "edge_satisfied",
+    "edge_satisfied_for_edge_faults",
+    "fault_sets",
+    "fault_tolerant_spanner",
+    "fault_tolerant_spanner_until_valid",
+    "first_violating_fault_set",
+    "is_edge_fault_tolerant_spanner",
+    "is_edge_ft_2spanner",
+    "is_fault_tolerant_spanner",
+    "is_ft_2spanner",
+    "resolve_iterations",
+    "sampled_edge_fault_check",
+    "sampled_fault_check",
+    "survival_probability",
+    "unsatisfied_edges",
+]

@@ -1,0 +1,110 @@
+"""The Chechik–Langberg–Peleg–Roditty (CLPR09) baseline.
+
+The paper's Section 2 improves on [CLPR09], which builds r-fault-tolerant
+(2t-1)-spanners of size ``O(r^2 t^{r+1} n^{1+1/t} log^{1-1/t} n)`` —
+*exponential* in r. As this paper describes it, the CLPR09 construction
+conceptually "applies the spanner construction of Thorup and Zwick to every
+possible fault set, eventually taking the union of all of these spanners",
+with a shared-randomness analysis showing the union stays small.
+
+We implement that description directly, with shared hierarchy randomness
+(the ingredient that keeps the union from exploding to ``n^r`` independent
+spanners). Enumerating all ``O(n^r)`` fault sets is only feasible at small
+``(n, r)``; the benchmark harness combines the exact construction at small
+scale with the *proved size bound* (see
+:func:`repro.spanners.bounds.clpr_ft_size_bound`) as an analytic curve at
+larger scale. DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..errors import FaultToleranceError
+from ..graph.graph import BaseGraph
+from ..rng import RandomLike, ensure_rng
+from ..spanners.thorup_zwick import _cluster_tree_edges, _multi_source_distances, sample_hierarchy
+from .verify import count_fault_sets, fault_sets
+
+Vertex = Hashable
+
+#: Safety valve: refuse enumerations beyond this many fault sets.
+MAX_FAULT_SETS = 2_000_000
+
+
+@dataclass
+class CLPRResult:
+    """Output of :func:`clpr_fault_tolerant_spanner`."""
+
+    spanner: BaseGraph
+    stretch: int
+    fault_sets_processed: int
+
+    @property
+    def num_edges(self) -> int:
+        return self.spanner.num_edges
+
+
+def clpr_fault_tolerant_spanner(
+    graph: BaseGraph,
+    t: int,
+    r: int,
+    seed: RandomLike = None,
+    shared_randomness: bool = True,
+    max_fault_sets: int = MAX_FAULT_SETS,
+) -> CLPRResult:
+    """Union-over-fault-sets construction in the style of [CLPR09].
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted graph.
+    t:
+        Thorup–Zwick hierarchy depth; the stretch is ``2t - 1``.
+    r:
+        Fault tolerance. The enumeration covers all ``sum_{i<=r} C(n, i)``
+        fault sets and refuses to start beyond ``max_fault_sets``.
+    shared_randomness:
+        When True (the CLPR09-style setting), one vertex hierarchy is
+        sampled and reused across every fault set — the key to the size
+        analysis. When False, each fault set gets fresh randomness; this
+        ablation shows the union blowing up, motivating the shared scheme.
+    """
+    if t < 1:
+        raise FaultToleranceError(f"t must be >= 1, got {t}")
+    if r < 0:
+        raise FaultToleranceError(f"r must be nonnegative, got {r}")
+    n = graph.num_vertices
+    total = count_fault_sets(n, r)
+    if total > max_fault_sets:
+        raise FaultToleranceError(
+            f"enumerating {total} fault sets exceeds the limit {max_fault_sets}; "
+            "use the analytic bound clpr_ft_size_bound at this scale"
+        )
+    rng = ensure_rng(seed)
+    vertices = list(graph.vertices())
+    union = type(graph)()
+    union.add_vertices(vertices)
+
+    shared_levels = sample_hierarchy(vertices, t, rng) if shared_randomness else None
+
+    processed = 0
+    for faults in fault_sets(vertices, r):
+        fault_set = set(faults)
+        sub = graph.without_vertices(fault_set)
+        if shared_levels is not None:
+            levels = [level - fault_set for level in shared_levels]
+        else:
+            levels = sample_hierarchy(
+                [v for v in vertices if v not in fault_set], t, rng
+            )
+        for i in range(t):
+            barrier = (
+                _multi_source_distances(sub, levels[i + 1]) if levels[i + 1] else {}
+            )
+            for w in levels[i] - levels[i + 1]:
+                for a, b in _cluster_tree_edges(sub, w, barrier):
+                    union.add_edge(a, b, graph.weight(a, b))
+        processed += 1
+    return CLPRResult(spanner=union, stretch=2 * t - 1, fault_sets_processed=processed)

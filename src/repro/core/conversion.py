@@ -1,0 +1,240 @@
+"""Theorem 2.1: the fault-oversampling conversion.
+
+This is the paper's primary contribution for stretch ``k >= 3``: a black-box
+transformation that converts *any* k-spanner construction into an r-fault-
+tolerant one. Each iteration independently puts every vertex into a
+simulated fault set ``J`` with probability ``p = 1 - 1/r`` (``1/2`` when
+``r = 1``), builds a k-spanner of the survivor graph ``G \\ J`` with the
+given base algorithm, and unions the results over
+``α = Θ(r^3 log n)`` iterations.
+
+Why oversampling works (paper, proof of Theorem 2.1): for a real fault set
+``F`` (|F| <= r) and a surviving edge ``(u, v)`` that is a shortest path in
+``G \\ F``, a single iteration "covers" the pair when ``u, v ∉ J`` and
+``F ⊆ J`` — probability ``(1/r)^2 (1-1/r)^r >= 1/(4r^2)`` — in which case
+the base spanner's stretch-k path for ``(u, v)`` in ``G \\ J`` survives in
+``G \\ F``. With ``α = Θ(r^3 log n)`` iterations a union bound over all
+``(F, edge)`` pairs gives success with high probability.
+
+The expected survivor size is ``n/r`` per iteration, so the union has size
+``O(r^3 log n · f(2n/r))``; applying the greedy spanner's
+``f(n) = O(n^{1+2/(k+1)})`` yields Theorem 1.1's
+``O(r^{2-2/(k+1)} n^{1+2/(k+1)} log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from ..errors import FaultToleranceError, InvalidStretch
+from ..graph.graph import BaseGraph
+from ..rng import RandomLike, derive_rng, ensure_rng
+from ..spanners.bounds import conversion_iterations, conversion_iterations_light
+from ..spanners.greedy import greedy_spanner
+
+Vertex = Hashable
+
+#: A base spanner algorithm: (graph, stretch) -> spanning subgraph.
+BaseSpannerAlgorithm = Callable[[BaseGraph, float], BaseGraph]
+
+
+@dataclass
+class ConversionStats:
+    """Per-run accounting for the conversion, consumed by benchmarks."""
+
+    iterations: int
+    survivor_sizes: List[int] = field(default_factory=list)
+    iteration_edge_counts: List[int] = field(default_factory=list)
+    union_edge_counts: List[int] = field(default_factory=list)
+
+    @property
+    def max_survivor_size(self) -> int:
+        """Largest ``|G \\ J|`` over iterations (Thm 2.1 bounds it by 2n/r whp)."""
+        return max(self.survivor_sizes, default=0)
+
+    @property
+    def final_size(self) -> int:
+        """Edge count of the union spanner."""
+        return self.union_edge_counts[-1] if self.union_edge_counts else 0
+
+
+@dataclass
+class ConversionResult:
+    """Output of :func:`fault_tolerant_spanner`."""
+
+    spanner: BaseGraph
+    stats: ConversionStats
+
+    @property
+    def num_edges(self) -> int:
+        return self.spanner.num_edges
+
+
+def survival_probability(r: int) -> float:
+    """The Theorem 2.1 sampling probability for vertices to *survive*.
+
+    Each vertex joins the simulated fault set ``J`` with probability
+    ``1 - 1/r``, i.e. survives with probability ``1/r``; for ``r = 1`` the
+    paper uses ``p = 1/2``.
+    """
+    if r <= 1:
+        return 0.5
+    return 1.0 / r
+
+
+def resolve_iterations(
+    n: int, r: int, iterations: Optional[int], schedule: str, constant: float
+) -> int:
+    """Resolve the iteration count ``α`` from explicit value or schedule.
+
+    Schedules: ``"theorem"`` = ``⌈c · r^3 ln n⌉`` (the proof's setting) and
+    ``"light"`` = ``⌈c · r^2 ln n⌉`` (ablation; see DESIGN.md §5).
+    """
+    if iterations is not None:
+        if iterations < 1:
+            raise FaultToleranceError(f"iterations must be >= 1, got {iterations}")
+        return iterations
+    if schedule == "theorem":
+        return conversion_iterations(n, r, constant)
+    if schedule == "light":
+        return conversion_iterations_light(n, r, constant)
+    raise FaultToleranceError(f"unknown schedule {schedule!r}; use 'theorem' or 'light'")
+
+
+def fault_tolerant_spanner(
+    graph: BaseGraph,
+    k: float,
+    r: int,
+    base_algorithm: BaseSpannerAlgorithm = greedy_spanner,
+    iterations: Optional[int] = None,
+    schedule: str = "theorem",
+    constant: float = 16.0,
+    seed: RandomLike = None,
+    survival_prob: Optional[float] = None,
+) -> ConversionResult:
+    """Build an r-fault-tolerant k-spanner via the Theorem 2.1 conversion.
+
+    Parameters
+    ----------
+    graph:
+        Host graph (undirected or directed) with nonnegative weights.
+    k:
+        Stretch bound of the base construction (the FT guarantee inherits
+        it). The paper's size bounds are for odd ``k >= 3`` via the greedy
+        base, but the conversion itself is stretch-agnostic.
+    r:
+        Number of vertex faults to tolerate, ``r >= 0``. ``r = 0`` reduces
+        to a single run of the base algorithm.
+    base_algorithm:
+        Any function ``(graph, k) -> spanner``; defaults to the greedy
+        spanner of [ADD+93], which realizes Corollary 2.2.
+    iterations:
+        Explicit iteration count ``α``; overrides ``schedule``.
+    schedule:
+        ``"theorem"`` (``r³ ln n``) or ``"light"`` (``r² ln n``), scaled by
+        ``constant``.
+    seed:
+        Randomness for the fault oversampling. Each iteration draws from an
+        independently derived stream.
+    survival_prob:
+        Override the per-vertex survival probability (default: the paper's
+        ``1/r``, or ``1/2`` when r = 1). Exposed for the DESIGN.md §5
+        oversampling ablation; non-default values void the size guarantee.
+
+    Returns
+    -------
+    :class:`ConversionResult` with the union spanner and per-iteration
+    accounting.
+    """
+    if k < 1:
+        raise InvalidStretch(f"stretch must be >= 1, got {k}")
+    if r < 0:
+        raise FaultToleranceError(f"r must be nonnegative, got {r}")
+    if survival_prob is not None and not 0.0 < survival_prob <= 1.0:
+        raise FaultToleranceError(
+            f"survival_prob must be in (0, 1], got {survival_prob}"
+        )
+
+    union = type(graph)()
+    union.add_vertices(graph.vertices())
+    n = graph.num_vertices
+
+    if r == 0:
+        base = base_algorithm(graph, k)
+        for u, v, w in base.edges():
+            union.add_edge(u, v, w)
+        stats = ConversionStats(
+            iterations=1,
+            survivor_sizes=[n],
+            iteration_edge_counts=[base.num_edges],
+            union_edge_counts=[union.num_edges],
+        )
+        return ConversionResult(spanner=union, stats=stats)
+
+    alpha = resolve_iterations(n, r, iterations, schedule, constant)
+    p_survive = (
+        survival_prob if survival_prob is not None else survival_probability(r)
+    )
+    rng = ensure_rng(seed)
+    stats = ConversionStats(iterations=alpha)
+    vertices = list(graph.vertices())
+
+    for i in range(alpha):
+        it_rng = derive_rng(rng, i)
+        survivors = [v for v in vertices if it_rng.random() < p_survive]
+        sub = graph.induced_subgraph(survivors)
+        stats.survivor_sizes.append(sub.num_vertices)
+        base = base_algorithm(sub, k)
+        stats.iteration_edge_counts.append(base.num_edges)
+        for u, v, w in base.edges():
+            union.add_edge(u, v, w)
+        stats.union_edge_counts.append(union.num_edges)
+
+    return ConversionResult(spanner=union, stats=stats)
+
+
+def fault_tolerant_spanner_until_valid(
+    graph: BaseGraph,
+    k: float,
+    r: int,
+    validity_check: Callable[[BaseGraph], bool],
+    base_algorithm: BaseSpannerAlgorithm = greedy_spanner,
+    batch: int = 8,
+    max_iterations: int = 100_000,
+    seed: RandomLike = None,
+) -> ConversionResult:
+    """Adaptive variant: run iterations until ``validity_check`` accepts.
+
+    Useful for the E1/E3 ablations measuring how many iterations are needed
+    *in practice* versus the union-bound-driven ``r^3 log n`` of the
+    theorem. ``validity_check`` receives the current union spanner.
+    """
+    if r < 1:
+        raise FaultToleranceError("the adaptive variant requires r >= 1")
+    union = type(graph)()
+    union.add_vertices(graph.vertices())
+    p_survive = survival_probability(r)
+    rng = ensure_rng(seed)
+    stats = ConversionStats(iterations=0)
+    vertices = list(graph.vertices())
+    done = 0
+    while done < max_iterations:
+        for _ in range(batch):
+            it_rng = derive_rng(rng, done)
+            survivors = [v for v in vertices if it_rng.random() < p_survive]
+            sub = graph.induced_subgraph(survivors)
+            stats.survivor_sizes.append(sub.num_vertices)
+            base = base_algorithm(sub, k)
+            stats.iteration_edge_counts.append(base.num_edges)
+            for u, v, w in base.edges():
+                union.add_edge(u, v, w)
+            stats.union_edge_counts.append(union.num_edges)
+            done += 1
+        if validity_check(union):
+            stats.iterations = done
+            return ConversionResult(spanner=union, stats=stats)
+    raise FaultToleranceError(
+        f"no valid r-fault-tolerant spanner after {max_iterations} iterations"
+    )

@@ -1,0 +1,48 @@
+"""Distributed algorithms in the LOCAL model (Sections 2.3 and 3.5).
+
+Padded decompositions (Lemma 3.7), the distributed Baswana–Sen base
+spanner, the Theorem 2.3 distributed fault-tolerance conversion, and
+Algorithm 2's cluster-decomposed LP with local rounding (Theorem 3.9).
+"""
+
+from .cluster_lp import (
+    ClusterLPIteration,
+    DistributedLPResult,
+    DistributedSpannerResult,
+    default_iteration_count,
+    distributed_ft2_lp,
+    distributed_ft2_spanner,
+)
+from .decomposition import (
+    DEFAULT_P,
+    PaddedDecomposition,
+    PaddedDecompositionAlgorithm,
+    default_radius_cap,
+    distributed_padded_decomposition,
+    sample_padded_decomposition,
+)
+from .ft_spanner import DistributedFTResult, distributed_ft_spanner
+from .local_verify import LocalLemma31Verifier, distributed_lemma31_check
+from .local_spanner import BaswanaSenNode, distributed_baswana_sen, shared_coin
+
+__all__ = [
+    "BaswanaSenNode",
+    "ClusterLPIteration",
+    "DEFAULT_P",
+    "DistributedFTResult",
+    "DistributedLPResult",
+    "DistributedSpannerResult",
+    "LocalLemma31Verifier",
+    "PaddedDecomposition",
+    "PaddedDecompositionAlgorithm",
+    "default_iteration_count",
+    "default_radius_cap",
+    "distributed_baswana_sen",
+    "distributed_ft2_lp",
+    "distributed_ft2_spanner",
+    "distributed_ft_spanner",
+    "distributed_lemma31_check",
+    "distributed_padded_decomposition",
+    "sample_padded_decomposition",
+    "shared_coin",
+]

@@ -1,0 +1,24 @@
+"""A synchronous message-passing simulator for the LOCAL model [Pel00].
+
+In each round every node may send an unbounded-size message to each of its
+neighbours; after ``t`` rounds a node's state is a function of its
+radius-``t`` neighbourhood. The distributed algorithms of Sections 2 and
+3.5 run on this substrate.
+"""
+
+from .message import Message
+from .node import NodeAlgorithm, NodeContext
+from .runtime import AlgorithmFactory, Simulation, SimulationResult, run_algorithm
+from .trace import RoundRecord, SimulationTracer
+
+__all__ = [
+    "AlgorithmFactory",
+    "Message",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RoundRecord",
+    "Simulation",
+    "SimulationResult",
+    "SimulationTracer",
+    "run_algorithm",
+]

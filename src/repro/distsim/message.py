@@ -1,0 +1,22 @@
+"""Message envelope for the LOCAL-model simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight: sender, receiver, and arbitrary content.
+
+    The LOCAL model places no bound on message size, so ``content`` may be
+    any Python object (whole subgraphs are legal, and Algorithm 2's cluster
+    gather sends exactly that).
+    """
+
+    sender: Vertex
+    receiver: Vertex
+    content: Any

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError`` from user code,
+and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural graph errors (missing vertices, duplicate edges, ...)."""
+
+
+class VertexNotFound(GraphError):
+    """A referenced vertex is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class NegativeWeightError(GraphError):
+    """An edge weight is negative where nonnegative weights are required."""
+
+
+class DisconnectedError(GraphError):
+    """No path exists between two vertices where one was required."""
+
+
+class SpannerError(ReproError):
+    """Errors raised by spanner construction algorithms."""
+
+
+class InvalidStretch(SpannerError):
+    """The requested stretch parameter is outside the algorithm's domain."""
+
+
+class FaultToleranceError(ReproError):
+    """Errors from fault-tolerant constructions and verifiers."""
+
+
+class LPError(ReproError):
+    """Errors from the linear-programming substrate."""
+
+
+class InfeasibleLP(LPError):
+    """The linear program has no feasible solution."""
+
+
+class UnboundedLP(LPError):
+    """The linear program's objective is unbounded."""
+
+
+class SolverLimit(LPError):
+    """An iteration or cut-round limit was exhausted before convergence."""
+
+
+class RoundingError(ReproError):
+    """A randomized rounding scheme failed to produce a valid solution."""
+
+
+class DistributedError(ReproError):
+    """Errors raised by the LOCAL-model simulator or distributed algorithms."""
+
+
+class ProtocolViolation(DistributedError):
+    """A node algorithm violated the simulator's protocol contract."""

@@ -1,0 +1,41 @@
+"""Bridges between :mod:`repro.graph` and :mod:`networkx`.
+
+networkx is used only here (and in tests as an independent cross-check for
+our shortest-path code); the algorithms themselves run entirely on the
+native :class:`~repro.graph.graph.Graph` / :class:`DiGraph` substrate.
+"""
+
+from __future__ import annotations
+
+from .graph import BaseGraph, DiGraph, Graph
+
+
+def to_networkx(graph: BaseGraph):
+    """Convert a repro graph to the corresponding networkx graph.
+
+    Edge weights are stored under the ``"weight"`` attribute.
+    """
+    import networkx as nx
+
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+def from_networkx(nx_graph) -> BaseGraph:
+    """Convert a networkx (Di)Graph to a repro graph.
+
+    Missing ``"weight"`` attributes default to 1.0, matching networkx's
+    own convention for weighted algorithms.
+    """
+    import networkx as nx
+
+    if isinstance(nx_graph, (nx.MultiGraph, nx.MultiDiGraph)):
+        raise TypeError("multigraphs are not supported; collapse parallel edges first")
+    out: BaseGraph = DiGraph() if nx_graph.is_directed() else Graph()
+    out.add_vertices(nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        out.add_edge(u, v, float(data.get("weight", 1.0)))
+    return out

@@ -1,0 +1,163 @@
+"""Graph serialization: JSON documents, edge-list text, and DOT export.
+
+A practical library needs a way to persist instances and results; the CLI
+(:mod:`repro.cli`) reads and writes these formats. Vertex labels survive a
+round trip when they are JSON-representable scalars; tuple vertices (used
+by the grid/fabric generators) are encoded as JSON arrays and decoded back
+to tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable, List, TextIO, Union
+
+from ..errors import GraphError
+from .graph import BaseGraph, DiGraph, Graph
+
+Vertex = Hashable
+
+#: Format version stamped into JSON documents.
+FORMAT_VERSION = 1
+
+
+def _encode_vertex(v: Vertex):
+    if isinstance(v, tuple):
+        return list(_encode_vertex(part) for part in v)
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    raise GraphError(
+        f"vertex {v!r} is not JSON-serializable; use scalars or tuples"
+    )
+
+
+def _decode_vertex(v):
+    if isinstance(v, list):
+        return tuple(_decode_vertex(part) for part in v)
+    return v
+
+
+def graph_to_dict(graph: BaseGraph) -> dict:
+    """Serialize a graph to a plain JSON-compatible dict."""
+    return {
+        "format": "repro-graph",
+        "version": FORMAT_VERSION,
+        "directed": graph.directed,
+        "vertices": [_encode_vertex(v) for v in graph.vertices()],
+        "edges": [
+            [_encode_vertex(u), _encode_vertex(v), w]
+            for u, v, w in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> BaseGraph:
+    """Deserialize a graph written by :func:`graph_to_dict`."""
+    if data.get("format") != "repro-graph":
+        raise GraphError("not a repro-graph document")
+    if data.get("version") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    graph: BaseGraph = DiGraph() if data["directed"] else Graph()
+    graph.add_vertices(_decode_vertex(v) for v in data["vertices"])
+    for u, v, w in data["edges"]:
+        graph.add_edge(_decode_vertex(u), _decode_vertex(v), float(w))
+    return graph
+
+
+def dump_json(graph: BaseGraph, path: str) -> None:
+    """Write a graph to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load_json(path: str) -> BaseGraph:
+    """Read a graph from a JSON file written by :func:`dump_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def dump_edge_list(graph: BaseGraph, handle: TextIO) -> None:
+    """Write a whitespace-separated edge list (``u v weight`` per line).
+
+    Only scalar vertex labels without whitespace are supported; a header
+    line records directedness and isolated vertices are listed on
+    ``# vertex`` lines so they survive the round trip.
+    """
+    kind = "digraph" if graph.directed else "graph"
+    handle.write(f"# repro-edge-list {kind}\n")
+    touched = set()
+    for u, v, _w in graph.edges():
+        touched.add(u)
+        touched.add(v)
+    for v in graph.vertices():
+        if v not in touched:
+            handle.write(f"# vertex {v}\n")
+    for u, v, w in graph.edges():
+        for label in (u, v):
+            text = str(label)
+            if any(ch.isspace() for ch in text):
+                raise GraphError(
+                    f"vertex label {label!r} contains whitespace; "
+                    "use JSON serialization instead"
+                )
+        handle.write(f"{u} {v} {w}\n")
+
+
+def load_edge_list(handle: TextIO) -> BaseGraph:
+    """Read an edge list written by :func:`dump_edge_list`.
+
+    Vertex labels are parsed as ints when possible, floats next, and kept
+    as strings otherwise.
+    """
+
+    def parse_label(text: str):
+        for cast in (int, float):
+            try:
+                return cast(text)
+            except ValueError:
+                continue
+        return text
+
+    first = handle.readline().strip()
+    if not first.startswith("# repro-edge-list"):
+        raise GraphError("missing repro-edge-list header")
+    graph: BaseGraph = DiGraph() if first.endswith("digraph") else Graph()
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# vertex "):
+            graph.add_vertex(parse_label(line[len("# vertex "):]))
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(f"malformed edge line: {line!r}")
+        graph.add_edge(parse_label(parts[0]), parse_label(parts[1]), float(parts[2]))
+    return graph
+
+
+def to_dot(graph: BaseGraph, highlight: Union[BaseGraph, None] = None) -> str:
+    """Render the graph in Graphviz DOT, optionally bolding a subgraph.
+
+    ``highlight`` (typically a spanner of ``graph``) marks its edges bold
+    red so "what did the algorithm keep" is visible at a glance.
+    """
+    directed = graph.directed
+    name = "digraph" if directed else "graph"
+    arrow = "->" if directed else "--"
+    lines: List[str] = [f"{name} repro {{"]
+    for v in graph.vertices():
+        lines.append(f'  "{v}";')
+    for u, v, w in graph.edges():
+        attrs = [f'label="{w:g}"']
+        if highlight is not None and highlight.has_edge(u, v):
+            attrs.append("color=red")
+            attrs.append("penwidth=2.0")
+        lines.append(f'  "{u}" {arrow} "{v}" [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Replacement paths: distance sensitivity to a single fault.
+
+The paper's conversion draws on the color-coding lineage of replacement-
+path data structures (it cites Weimann–Yuster [WY10] as the technique's
+recent incarnation). This module provides the direct computational
+primitive: for a source–target pair, the shortest-path distance avoiding
+each candidate fault — which the analysis layer uses to quantify how much
+a single failure can hurt a host graph or a spanner.
+
+The implementation is the straightforward one (one bounded Dijkstra per
+candidate fault); candidates default to the vertices/edges of one shortest
+path, which are the only faults that can change the distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import DisconnectedError, VertexNotFound
+from .graph import BaseGraph
+from .paths import dijkstra, dijkstra_with_paths, reconstruct_path
+
+Vertex = Hashable
+EdgeKey = Tuple[Vertex, Vertex]
+
+
+@dataclass
+class FaultSensitivity:
+    """Distances under each single fault, for one (source, target) pair."""
+
+    source: Vertex
+    target: Vertex
+    base_distance: float
+    #: fault vertex -> d_{G-v}(s, t)
+    vertex_faults: Dict[Vertex, float]
+    #: fault edge -> d_{G-e}(s, t)
+    edge_faults: Dict[EdgeKey, float]
+
+    def worst_vertex_fault(self) -> Optional[Tuple[Vertex, float]]:
+        """The single vertex whose removal hurts the distance most."""
+        if not self.vertex_faults:
+            return None
+        fault = max(self.vertex_faults, key=lambda v: self.vertex_faults[v])
+        return fault, self.vertex_faults[fault]
+
+    def worst_edge_fault(self) -> Optional[Tuple[EdgeKey, float]]:
+        """The single edge whose removal hurts the distance most."""
+        if not self.edge_faults:
+            return None
+        fault = max(self.edge_faults, key=lambda e: self.edge_faults[e])
+        return fault, self.edge_faults[fault]
+
+    def max_stretch_under_single_fault(self) -> float:
+        """max over faults of d_{G-f}(s,t) / d_G(s,t) (1.0 if fault-free)."""
+        worst = self.base_distance
+        for d in self.vertex_faults.values():
+            worst = max(worst, d)
+        for d in self.edge_faults.values():
+            worst = max(worst, d)
+        if self.base_distance == 0:
+            return 1.0 if worst == 0 else math.inf
+        return worst / self.base_distance
+
+
+def replacement_path_distance(
+    graph: BaseGraph, source: Vertex, target: Vertex, avoid_vertex: Vertex
+) -> float:
+    """``d_{G - v}(source, target)``; ``inf`` when disconnected."""
+    if avoid_vertex in (source, target):
+        raise VertexNotFound(avoid_vertex)
+    survivor = graph.without_vertices({avoid_vertex})
+    return dijkstra(survivor, source, target=target).get(target, math.inf)
+
+
+def replacement_edge_distance(
+    graph: BaseGraph, source: Vertex, target: Vertex, avoid_edge: EdgeKey
+) -> float:
+    """``d_{G - e}(source, target)``; ``inf`` when disconnected."""
+    u, v = avoid_edge
+    survivor = graph.copy()
+    if survivor.has_edge(u, v):
+        survivor.remove_edge(u, v)
+    return dijkstra(survivor, source, target=target).get(target, math.inf)
+
+
+def fault_sensitivity(
+    graph: BaseGraph,
+    source: Vertex,
+    target: Vertex,
+    vertex_candidates: Optional[Iterable[Vertex]] = None,
+    edge_candidates: Optional[Iterable[EdgeKey]] = None,
+) -> FaultSensitivity:
+    """Single-fault sensitivity profile for ``(source, target)``.
+
+    By default the candidates are the interior vertices and the edges of
+    one shortest path — removing anything off every shortest path cannot
+    increase the distance beyond ties, and those are covered because the
+    found path is one witness.
+    """
+    dist, parent = dijkstra_with_paths(graph, source)
+    if target not in dist:
+        raise DisconnectedError(f"{target!r} unreachable from {source!r}")
+    base = dist[target]
+    path = reconstruct_path(parent, source, target)
+
+    if vertex_candidates is None:
+        vertex_candidates = path[1:-1]
+    if edge_candidates is None:
+        edge_candidates = list(zip(path, path[1:]))
+
+    vertex_faults = {
+        v: replacement_path_distance(graph, source, target, v)
+        for v in vertex_candidates
+        if v not in (source, target)
+    }
+    edge_faults = {
+        (u, v): replacement_edge_distance(graph, source, target, (u, v))
+        for (u, v) in edge_candidates
+    }
+    return FaultSensitivity(
+        source=source,
+        target=target,
+        base_distance=base,
+        vertex_faults=vertex_faults,
+        edge_faults=edge_faults,
+    )
+
+
+def most_fragile_pairs(
+    graph: BaseGraph, top: int = 5
+) -> List[Tuple[Vertex, Vertex, float]]:
+    """Host edges ranked by single-vertex-fault stretch.
+
+    For every edge ``(u, v)``, computes the worst ratio
+    ``d_{G-z}(u, v) / w(u, v)`` over single vertex faults ``z`` on a
+    shortest u-v path, and returns the ``top`` most fragile. This is the
+    diagnostic a network operator would run before choosing ``r``.
+    """
+    scored = []
+    for u, v, w in graph.edges():
+        profile = fault_sensitivity(graph, u, v)
+        scored.append((u, v, profile.max_stretch_under_single_fault()))
+    scored.sort(key=lambda item: -item[2])
+    return scored[:top]

@@ -1,0 +1,36 @@
+"""Linear-programming substrate.
+
+A modelling layer (:mod:`repro.lp.model`), two interchangeable solver
+backends (scipy HiGHS and a pure-Python two-phase simplex), and a
+cutting-plane driver for the exponentially-large constraint families of
+Section 3 (the knapsack-cover inequalities of LP (4)).
+"""
+
+from .cutting_plane import CuttingPlaneResult, SeparationOracle, solve_with_cuts
+from .model import (
+    EQUAL,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    Constraint,
+    LinearProgram,
+    LPSolution,
+    Variable,
+)
+from .simplex import solve_standard_form, solve_with_simplex
+from .scipy_backend import solve_with_scipy
+
+__all__ = [
+    "Constraint",
+    "CuttingPlaneResult",
+    "EQUAL",
+    "GREATER_EQUAL",
+    "LESS_EQUAL",
+    "LPSolution",
+    "LinearProgram",
+    "SeparationOracle",
+    "Variable",
+    "solve_standard_form",
+    "solve_with_cuts",
+    "solve_with_scipy",
+    "solve_with_simplex",
+]

@@ -1,0 +1,220 @@
+"""A small linear-programming modelling layer.
+
+The Section 3 relaxations (LP (2) and LP (4) in the paper) are built as
+:class:`LinearProgram` instances: named variables with bounds and objective
+coefficients, plus sparse constraints. Models are solved through a backend
+(:mod:`repro.lp.scipy_backend` by default, with the pure-Python simplex of
+:mod:`repro.lp.simplex` as an independent cross-check), and the
+cutting-plane driver (:mod:`repro.lp.cutting_plane`) adds
+separation-oracle-generated constraints incrementally — the offline stand-in
+for the paper's Ellipsoid-with-separation-oracle argument (Lemma 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import InfeasibleLP, LPError, UnboundedLP
+
+VarName = Hashable
+
+LESS_EQUAL = "<="
+GREATER_EQUAL = ">="
+EQUAL = "=="
+
+_SENSES = (LESS_EQUAL, GREATER_EQUAL, EQUAL)
+
+
+@dataclass
+class Variable:
+    """A decision variable with bounds and an objective coefficient."""
+
+    name: VarName
+    index: int
+    lower: float = 0.0
+    upper: Optional[float] = None
+    objective: float = 0.0
+
+
+@dataclass
+class Constraint:
+    """A sparse linear constraint ``sum coeffs[v] * v  sense  rhs``."""
+
+    coeffs: Dict[VarName, float]
+    sense: str
+    rhs: float
+    name: Optional[str] = None
+
+    def evaluate(self, values: Mapping[VarName, float]) -> float:
+        """Left-hand-side value under a variable assignment."""
+        return sum(c * values.get(v, 0.0) for v, c in self.coeffs.items())
+
+    def satisfied(self, values: Mapping[VarName, float], tol: float = 1e-7) -> bool:
+        """Whether the assignment satisfies the constraint within ``tol``."""
+        lhs = self.evaluate(values)
+        if self.sense == LESS_EQUAL:
+            return lhs <= self.rhs + tol
+        if self.sense == GREATER_EQUAL:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def violation(self, values: Mapping[VarName, float]) -> float:
+        """Amount by which the assignment violates the constraint (>= 0)."""
+        lhs = self.evaluate(values)
+        if self.sense == LESS_EQUAL:
+            return max(0.0, lhs - self.rhs)
+        if self.sense == GREATER_EQUAL:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+
+@dataclass
+class LPSolution:
+    """Solver output: status, optimal objective, and variable values."""
+
+    status: str  # "optimal", "infeasible", or "unbounded"
+    objective: float
+    values: Dict[VarName, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def value(self, name: VarName) -> float:
+        """Value of one variable (0.0 for variables absent from the model)."""
+        return self.values.get(name, 0.0)
+
+
+class LinearProgram:
+    """A minimization LP with named variables and sparse constraints."""
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._variables: Dict[VarName, Variable] = {}
+        self._order: List[VarName] = []
+        self.constraints: List[Constraint] = []
+
+    # ------------------------------------------------------------------
+    # Model building
+    # ------------------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: VarName,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        objective: float = 0.0,
+    ) -> Variable:
+        """Declare a variable; re-declaring an existing name is an error."""
+        if name in self._variables:
+            raise LPError(f"variable {name!r} already declared")
+        if upper is not None and upper < lower:
+            raise LPError(f"variable {name!r} has empty domain [{lower}, {upper}]")
+        var = Variable(
+            name=name,
+            index=len(self._order),
+            lower=lower,
+            upper=upper,
+            objective=objective,
+        )
+        self._variables[name] = var
+        self._order.append(name)
+        return var
+
+    def has_variable(self, name: VarName) -> bool:
+        return name in self._variables
+
+    def variable(self, name: VarName) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise LPError(f"unknown variable {name!r}") from None
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._order)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def variable_names(self) -> List[VarName]:
+        return list(self._order)
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[VarName, float],
+        sense: str,
+        rhs: float,
+        name: Optional[str] = None,
+    ) -> Constraint:
+        """Add a sparse constraint over previously declared variables."""
+        if sense not in _SENSES:
+            raise LPError(f"unknown sense {sense!r}; use one of {_SENSES}")
+        clean = {}
+        for var, coeff in coeffs.items():
+            if var not in self._variables:
+                raise LPError(f"constraint references unknown variable {var!r}")
+            if coeff != 0.0:
+                clean[var] = float(coeff)
+        constraint = Constraint(coeffs=clean, sense=sense, rhs=float(rhs), name=name)
+        self.constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def objective_value(self, values: Mapping[VarName, float]) -> float:
+        """Objective under an arbitrary assignment."""
+        return sum(
+            var.objective * values.get(name, 0.0)
+            for name, var in self._variables.items()
+        )
+
+    def check_feasible(
+        self, values: Mapping[VarName, float], tol: float = 1e-6
+    ) -> bool:
+        """Whether an assignment satisfies all bounds and constraints."""
+        for name, var in self._variables.items():
+            x = values.get(name, 0.0)
+            if x < var.lower - tol:
+                return False
+            if var.upper is not None and x > var.upper + tol:
+                return False
+        return all(c.satisfied(values, tol) for c in self.constraints)
+
+    def solve(self, backend: str = "auto") -> LPSolution:
+        """Solve the model.
+
+        ``backend`` is ``"scipy"`` (HiGHS via :func:`scipy.optimize.linprog`),
+        ``"simplex"`` (the pure-Python two-phase simplex), or ``"auto"``
+        (scipy when importable, simplex otherwise).
+
+        Raises :class:`InfeasibleLP` / :class:`UnboundedLP` on those
+        statuses so callers never silently consume a non-optimal solution.
+        """
+        if backend == "auto":
+            try:
+                import scipy.optimize  # noqa: F401
+
+                backend = "scipy"
+            except ImportError:  # pragma: no cover - scipy is a dependency
+                backend = "simplex"
+        if backend == "scipy":
+            from .scipy_backend import solve_with_scipy
+
+            solution = solve_with_scipy(self)
+        elif backend == "simplex":
+            from .simplex import solve_with_simplex
+
+            solution = solve_with_simplex(self)
+        else:
+            raise LPError(f"unknown backend {backend!r}")
+        if solution.status == "infeasible":
+            raise InfeasibleLP(f"LP {self.name!r} is infeasible")
+        if solution.status == "unbounded":
+            raise UnboundedLP(f"LP {self.name!r} is unbounded")
+        return solution

@@ -1,0 +1,309 @@
+"""A dense two-phase primal simplex solver in pure numpy.
+
+This is the library's self-contained LP backend: no external solver is
+required to reproduce the paper. It is deliberately simple — dense tableau,
+Bland's rule for anti-cycling — and is cross-checked against scipy's HiGHS
+in the test suite. Problem sizes in the reproduction (hundreds of variables
+and constraints for the 2-spanner LPs on benchmark graphs) are comfortably
+within its reach.
+
+Standard form used internally::
+
+    minimize    c^T x
+    subject to  A x = b,  x >= 0,  b >= 0
+
+:func:`solve_with_simplex` converts a general
+:class:`~repro.lp.model.LinearProgram` (bounded variables, mixed senses)
+into standard form: free/lower-bounded variables are shifted, upper bounds
+become rows, inequality rows gain slack/surplus variables, and phase 1
+drives artificial variables to zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LPError, SolverLimit
+from .model import EQUAL, GREATER_EQUAL, LESS_EQUAL, LinearProgram, LPSolution
+
+_TOL = 1e-9
+
+
+class _Tableau:
+    """Dense simplex tableau for ``min c^T x : Ax = b, x >= 0``."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray, basis: List[int]):
+        self.a = a.astype(float)
+        self.b = b.astype(float)
+        self.c = c.astype(float)
+        self.basis = list(basis)
+
+    def _pivot(self, row: int, col: int) -> None:
+        pivot = self.a[row, col]
+        self.a[row] /= pivot
+        self.b[row] /= pivot
+        for i in range(self.a.shape[0]):
+            if i != row and abs(self.a[i, col]) > _TOL:
+                factor = self.a[i, col]
+                self.a[i] -= factor * self.a[row]
+                self.b[i] -= factor * self.b[row]
+        self.basis[row] = col
+
+    def reduced_costs(self) -> np.ndarray:
+        cb = self.c[self.basis]
+        return self.c - cb @ self.a
+
+    def run(self, max_iterations: int) -> str:
+        """Run primal simplex (Bland's rule). Returns "optimal"/"unbounded"."""
+        m, _n = self.a.shape
+        for _ in range(max_iterations):
+            reduced = self.reduced_costs()
+            entering = -1
+            for j in range(len(reduced)):
+                if reduced[j] < -_TOL:
+                    entering = j  # Bland: smallest index
+                    break
+            if entering < 0:
+                return "optimal"
+            # Ratio test, Bland tie-break on basis variable index.
+            leaving = -1
+            best_ratio = math.inf
+            for i in range(m):
+                aij = self.a[i, entering]
+                if aij > _TOL:
+                    ratio = self.b[i] / aij
+                    if ratio < best_ratio - _TOL or (
+                        abs(ratio - best_ratio) <= _TOL
+                        and (leaving < 0 or self.basis[i] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return "unbounded"
+            self._pivot(leaving, entering)
+        raise SolverLimit(f"simplex exceeded {max_iterations} iterations")
+
+    def solution(self, num_original: int) -> np.ndarray:
+        x = np.zeros(self.a.shape[1])
+        for i, j in enumerate(self.basis):
+            x[j] = self.b[i]
+        return x[:num_original]
+
+    def objective(self) -> float:
+        return float(self.c[self.basis] @ self.b)
+
+
+def solve_standard_form(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    max_iterations: int = 50_000,
+) -> Tuple[str, Optional[np.ndarray], float]:
+    """Two-phase simplex for ``min c^T x : Ax = b, x >= 0``.
+
+    Returns ``(status, x, objective)`` with status in
+    {"optimal", "infeasible", "unbounded"}.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float).copy()
+    c = np.asarray(c, dtype=float)
+    m, n = a.shape
+    a = a.copy()
+    # Ensure b >= 0 by flipping rows.
+    for i in range(m):
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+
+    # Phase 1: add artificials, minimize their sum.
+    art = np.eye(m)
+    a1 = np.hstack([a, art])
+    c1 = np.concatenate([np.zeros(n), np.ones(m)])
+    basis = list(range(n, n + m))
+    tableau = _Tableau(a1, b, c1, basis)
+    status = tableau.run(max_iterations)
+    if status != "optimal" or tableau.objective() > 1e-6:
+        return "infeasible", None, math.inf
+
+    # Drive any artificial variables remaining in the basis out of it.
+    for i in range(m):
+        if tableau.basis[i] >= n:
+            pivoted = False
+            for j in range(n):
+                if abs(tableau.a[i, j]) > _TOL:
+                    tableau._pivot(i, j)
+                    pivoted = True
+                    break
+            if not pivoted:
+                # Redundant row: zero it by leaving the artificial at 0.
+                continue
+
+    # Phase 2 on the original columns.
+    keep_rows = list(range(m))
+    a2 = tableau.a[np.ix_(keep_rows, list(range(n)))]
+    b2 = tableau.b[keep_rows]
+    basis2 = []
+    for i in keep_rows:
+        if tableau.basis[i] < n:
+            basis2.append(tableau.basis[i])
+        else:
+            basis2.append(tableau.basis[i])  # degenerate artificial at value 0
+    # For rows still based on an artificial (value 0), extend phase-2 costs
+    # with prohibitive cost so they never re-enter.
+    num_cols = n + sum(1 for j in basis2 if j >= n)
+    if num_cols > n:
+        extra = []
+        mapping = {}
+        col = n
+        ext = np.zeros((len(keep_rows), num_cols - n))
+        for i, j in enumerate(basis2):
+            if j >= n:
+                mapping[j] = col
+                ext[i, col - n] = 1.0
+                basis2[i] = col
+                col += 1
+        a2 = np.hstack([a2, ext])
+        c2 = np.concatenate([c, np.full(num_cols - n, 1e12)])
+    else:
+        c2 = c.copy()
+    tableau2 = _Tableau(a2, b2, c2, basis2)
+    status = tableau2.run(max_iterations)
+    if status == "unbounded":
+        return "unbounded", None, -math.inf
+    x = tableau2.solution(n)
+    return "optimal", x, float(c @ x)
+
+
+def _to_standard_form(lp: LinearProgram):
+    """Convert a general model into standard-form matrices.
+
+    Returns ``(a, b, c, recover)`` where ``recover(x_std)`` maps the
+    standard-form vector back to a {name: value} dict.
+    """
+    names = lp.variable_names()
+    shifts: Dict[object, float] = {}
+    col_of: Dict[object, int] = {}
+    columns = 0
+    # Shift every variable to x' = x - lower >= 0. Free variables (lower
+    # = -inf) are split into positive and negative parts.
+    split_vars = []
+    for name in names:
+        var = lp.variable(name)
+        if math.isinf(var.lower):
+            split_vars.append(name)
+            col_of[name] = columns
+            columns += 2
+        else:
+            shifts[name] = var.lower
+            col_of[name] = columns
+            columns += 1
+
+    rows = []
+    rhs = []
+    senses = []
+
+    def _coeff_row(coeffs: Dict[object, float]) -> Tuple[np.ndarray, float]:
+        row = np.zeros(columns)
+        shift_total = 0.0
+        for vname, coeff in coeffs.items():
+            j = col_of[vname]
+            if vname in split_vars:
+                row[j] = coeff
+                row[j + 1] = -coeff
+            else:
+                row[j] = coeff
+                shift_total += coeff * shifts[vname]
+        return row, shift_total
+
+    for con in lp.constraints:
+        row, shift_total = _coeff_row(con.coeffs)
+        rows.append(row)
+        rhs.append(con.rhs - shift_total)
+        senses.append(con.sense)
+
+    # Upper bounds become <= rows on the shifted variable.
+    for name in names:
+        var = lp.variable(name)
+        if var.upper is not None and not math.isinf(var.upper):
+            row = np.zeros(columns)
+            j = col_of[name]
+            if name in split_vars:
+                row[j] = 1.0
+                row[j + 1] = -1.0
+                bound = var.upper
+            else:
+                row[j] = 1.0
+                bound = var.upper - shifts[name]
+            rows.append(row)
+            rhs.append(bound)
+            senses.append(LESS_EQUAL)
+
+    # Slack / surplus columns for inequality rows.
+    num_ineq = sum(1 for s in senses if s != EQUAL)
+    total_cols = columns + num_ineq
+    a = np.zeros((len(rows), total_cols))
+    b = np.array(rhs, dtype=float)
+    slack_col = columns
+    for i, (row, sense) in enumerate(zip(rows, senses)):
+        a[i, :columns] = row
+        if sense == LESS_EQUAL:
+            a[i, slack_col] = 1.0
+            slack_col += 1
+        elif sense == GREATER_EQUAL:
+            a[i, slack_col] = -1.0
+            slack_col += 1
+
+    c = np.zeros(total_cols)
+    objective_shift = 0.0
+    for name in names:
+        var = lp.variable(name)
+        j = col_of[name]
+        if name in split_vars:
+            c[j] = var.objective
+            c[j + 1] = -var.objective
+        else:
+            c[j] = var.objective
+            objective_shift += var.objective * shifts[name]
+
+    def recover(x_std: np.ndarray) -> Dict[object, float]:
+        values: Dict[object, float] = {}
+        for name in names:
+            j = col_of[name]
+            if name in split_vars:
+                values[name] = float(x_std[j] - x_std[j + 1])
+            else:
+                values[name] = float(x_std[j] + shifts[name])
+        return values
+
+    return a, b, c, recover, objective_shift
+
+
+def solve_with_simplex(lp: LinearProgram, max_iterations: int = 50_000) -> LPSolution:
+    """Solve a :class:`LinearProgram` with the two-phase simplex."""
+    if lp.num_variables == 0:
+        return LPSolution(status="optimal", objective=0.0, values={})
+    a, b, c, recover, shift = _to_standard_form(lp)
+    if a.shape[0] == 0:
+        # No constraints: optimum is each variable at its cheapest bound.
+        values = {}
+        total = 0.0
+        for name in lp.variable_names():
+            var = lp.variable(name)
+            if var.objective >= 0:
+                if math.isinf(var.lower):
+                    return LPSolution(status="unbounded", objective=-math.inf)
+                values[name] = var.lower
+            else:
+                if var.upper is None or math.isinf(var.upper):
+                    return LPSolution(status="unbounded", objective=-math.inf)
+                values[name] = var.upper
+            total += var.objective * values[name]
+        return LPSolution(status="optimal", objective=total, values=values)
+    status, x, objective = solve_standard_form(a, b, c, max_iterations)
+    if status != "optimal":
+        return LPSolution(status=status, objective=math.inf)
+    values = recover(x)
+    return LPSolution(status="optimal", objective=objective + shift, values=values)

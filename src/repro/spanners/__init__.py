@@ -1,0 +1,43 @@
+"""Non-fault-tolerant spanner constructions and their size bounds.
+
+These are the "generic spanner algorithms" that the paper's Theorem 2.1
+conversion consumes, plus the verification helpers used throughout the
+test suite and benchmarks.
+"""
+
+from .baswana_sen import baswana_sen_spanner
+from .distance_oracle import DistanceOracle, build_distance_oracle
+from .bounds import (
+    baswana_sen_size_bound,
+    clpr_ft_size_bound,
+    conversion_iterations,
+    conversion_iterations_light,
+    conversion_size_bound,
+    greedy_size_bound,
+    moore_bound_edges,
+    thorup_zwick_size_bound,
+)
+from .greedy import greedy_spanner, greedy_spanner_size_first
+from .thorup_zwick import thorup_zwick_spanner
+from .verify import is_spanner, max_edge_stretch, violating_edges
+
+__all__ = [
+    "DistanceOracle",
+    "baswana_sen_size_bound",
+    "baswana_sen_spanner",
+    "build_distance_oracle",
+    "clpr_ft_size_bound",
+    "conversion_iterations",
+    "conversion_iterations_light",
+    "conversion_size_bound",
+    "greedy_size_bound",
+    "greedy_spanner",
+    "greedy_spanner_size_first",
+    "is_spanner",
+    "max_edge_stretch",
+    "moore_bound_edges",
+    "thorup_zwick_size_bound",
+    "thorup_zwick_spanner",
+    "verify",
+    "violating_edges",
+]

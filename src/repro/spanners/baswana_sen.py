@@ -1,0 +1,154 @@
+"""Baswana–Sen randomized (2k-1)-spanner via iterated clustering.
+
+The algorithm runs ``k - 1`` clustering phases followed by a joining phase
+and produces a ``(2k-1)``-spanner of expected size ``O(k · n^{1+1/k})`` on
+weighted undirected graphs. Unlike the greedy spanner it makes only *local*
+decisions (each vertex looks at its incident edges and the cluster labels
+of its neighbours), which is why Section 2's distributed corollary can use
+a clustering spanner as its base construction; the LOCAL-model version in
+:mod:`repro.distributed.local_spanner` mirrors this code phase by phase.
+
+Implementation follows Baswana & Sen, "A simple and linear time randomized
+algorithm for computing sparse spanners in weighted graphs" (RSA 2007).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..errors import InvalidStretch
+from ..graph.graph import BaseGraph, Graph
+from ..rng import RandomLike, ensure_rng
+
+Vertex = Hashable
+
+
+def _lightest_edges_per_cluster(
+    edges: Dict[Vertex, Dict[Vertex, float]],
+    v: Vertex,
+    cluster_of: Dict[Vertex, Vertex],
+) -> Dict[Vertex, Tuple[Vertex, float]]:
+    """For vertex ``v``, the lightest incident edge into each neighbouring cluster.
+
+    Returns ``{cluster_center: (neighbor, weight)}`` over clustered
+    neighbours of ``v`` (unclustered neighbours are ignored — their edges
+    were already resolved in an earlier phase).
+    """
+    best: Dict[Vertex, Tuple[Vertex, float]] = {}
+    for u, w in edges[v].items():
+        c = cluster_of.get(u)
+        if c is None:
+            continue
+        if c not in best or w < best[c][1]:
+            best[c] = (u, w)
+    return best
+
+
+def baswana_sen_spanner(
+    graph: Graph,
+    k: int,
+    seed: RandomLike = None,
+    sample_probability: Optional[float] = None,
+) -> Graph:
+    """Build a Baswana–Sen ``(2k - 1)``-spanner of an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted graph.
+    k:
+        Number of levels; stretch is ``2k - 1`` (so ``k = 2`` gives a
+        3-spanner). Must be >= 1; ``k = 1`` returns a copy of the graph.
+    seed:
+        Randomness for cluster sampling.
+    sample_probability:
+        Per-phase cluster survival probability (default ``n^{-1/k}``).
+    """
+    if graph.directed:
+        raise InvalidStretch("Baswana-Sen requires an undirected graph")
+    if k < 1:
+        raise InvalidStretch(f"k must be >= 1, got {k}")
+    if k == 1:
+        return graph.copy()
+    rng = ensure_rng(seed)
+    n = graph.num_vertices
+    spanner = Graph()
+    spanner.add_vertices(graph.vertices())
+    if n == 0:
+        return spanner
+    p = sample_probability if sample_probability is not None else n ** (-1.0 / k)
+
+    # Working edge set, pruned as edges are resolved (added or discarded).
+    edges: Dict[Vertex, Dict[Vertex, float]] = {
+        v: dict(graph.neighbor_items(v)) for v in graph.vertices()
+    }
+
+    def _discard(v: Vertex, u: Vertex) -> None:
+        edges[v].pop(u, None)
+        edges[u].pop(v, None)
+
+    def _add_to_spanner(v: Vertex, u: Vertex, w: float) -> None:
+        spanner.add_edge(v, u, w)
+
+    # cluster_of[v] = center of v's cluster in the current clustering.
+    cluster_of: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    for _phase in range(k - 1):
+        centers = {c for c in cluster_of.values()}
+        sampled = {c for c in centers if rng.random() < p}
+        new_cluster_of: Dict[Vertex, Vertex] = {}
+
+        # Vertices in sampled clusters stay put.
+        for v, c in cluster_of.items():
+            if c in sampled:
+                new_cluster_of[v] = c
+
+        for v in list(cluster_of):
+            if cluster_of[v] in sampled:
+                continue
+            best = _lightest_edges_per_cluster(edges, v, cluster_of)
+            sampled_options = {c: e for c, e in best.items() if c in sampled}
+            if sampled_options:
+                # Join the nearest sampled cluster through its lightest edge.
+                join_center, (join_nbr, join_w) = min(
+                    sampled_options.items(), key=lambda item: (item[1][1], str(item[0]))
+                )
+                _add_to_spanner(v, join_nbr, join_w)
+                new_cluster_of[v] = join_center
+                _discard(v, join_nbr)
+                # Buy one edge into every strictly-closer cluster and
+                # resolve those edges; edges into clusters whose lightest
+                # edge is >= the join edge survive to the next phase.
+                for c, (u, w) in best.items():
+                    if c == join_center:
+                        continue
+                    if w < join_w:
+                        _add_to_spanner(v, u, w)
+                        for u2 in [
+                            u2 for u2 in edges[v] if cluster_of.get(u2) == c
+                        ]:
+                            _discard(v, u2)
+                # Also drop remaining edges into the joined cluster.
+                for u2 in [
+                    u2 for u2 in edges[v] if cluster_of.get(u2) == join_center
+                ]:
+                    _discard(v, u2)
+            else:
+                # No sampled neighbour: buy one lightest edge per cluster
+                # and leave the clustering permanently.
+                for c, (u, w) in best.items():
+                    _add_to_spanner(v, u, w)
+                    for u2 in [u2 for u2 in edges[v] if cluster_of.get(u2) == c]:
+                        _discard(v, u2)
+        cluster_of = new_cluster_of
+
+    # Final joining phase: every vertex buys its lightest edge into each
+    # surviving cluster it touches.
+    for v in graph.vertices():
+        best = _lightest_edges_per_cluster(edges, v, cluster_of)
+        for _c, (u, w) in best.items():
+            _add_to_spanner(v, u, w)
+            for u2 in [u2 for u2 in edges[v] if cluster_of.get(u2) == _c]:
+                _discard(v, u2)
+    return spanner

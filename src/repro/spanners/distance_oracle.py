@@ -1,0 +1,177 @@
+"""Thorup–Zwick approximate distance oracles [TZ05].
+
+The spanner of :mod:`repro.spanners.thorup_zwick` is one artefact of the
+TZ construction; the other is the queryable *oracle*: after
+``O(t · n^{1+1/t})``-space preprocessing, any distance query is answered in
+O(t) time within stretch ``2t - 1``. CLPR09 — the baseline the paper
+improves on — is built around exactly this structure, so the reproduction
+carries the full oracle, not just the spanner.
+
+Construction (classical):
+
+* sample ``V = A_0 ⊇ A_1 ⊇ ... ⊇ A_t = ∅`` with per-level probability
+  ``n^{-1/t}``;
+* for each vertex ``v`` and level ``i``, the *witness* ``p_i(v)`` is the
+  nearest vertex of ``A_i`` (with its distance);
+* the *bunch* ``B(v) = ∪_i { w ∈ A_i \\ A_{i+1} : d(w, v) < d(A_{i+1}, v) }``
+  stores exact distances from ``v`` to selected landmarks.
+
+Query(u, v): walk the levels, alternating sides — ``w = p_i(u)``; if
+``w ∈ B(v)`` answer ``d(u, w) + d(w, v)``; otherwise swap ``u`` and ``v``
+and move up a level. Termination at level ``t - 1`` is guaranteed because
+``A_{t-1} ⊆ B(x)`` for every ``x``; the standard induction gives
+``d(u, w) <= i · d(u, v)`` at level ``i``, hence stretch ``2t - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..errors import InvalidStretch
+from ..graph.graph import BaseGraph
+from ..rng import RandomLike, ensure_rng
+from .thorup_zwick import _multi_source_distances, sample_hierarchy
+
+Vertex = Hashable
+
+INF = math.inf
+
+
+def _cluster_distances(
+    graph: BaseGraph, center: Vertex, barrier: Dict[Vertex, float]
+) -> Dict[Vertex, float]:
+    """Distances from ``center`` to its TZ cluster (truncated Dijkstra)."""
+    import heapq
+
+    dist: Dict[Vertex, float] = {}
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, center)]
+    counter = 1
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        items = (
+            graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
+        )
+        for u, w in items:
+            if u in dist:
+                continue
+            nd = d + w
+            if nd >= barrier.get(u, INF):
+                continue
+            heapq.heappush(heap, (nd, counter, u))
+            counter += 1
+    return dist
+
+
+@dataclass
+class DistanceOracle:
+    """A preprocessed TZ oracle; query with :meth:`query`."""
+
+    t: int
+    witnesses: List[Dict[Vertex, Tuple[Vertex, float]]]  # level -> v -> (p_i(v), d)
+    bunches: Dict[Vertex, Dict[Vertex, float]]  # v -> {w: d(v, w)}
+
+    @property
+    def stretch(self) -> int:
+        return 2 * self.t - 1
+
+    def bunch_size(self, v: Vertex) -> int:
+        """Number of landmarks stored for ``v`` (space accounting)."""
+        return len(self.bunches[v])
+
+    def total_size(self) -> int:
+        """Total stored landmark entries (the O(t n^{1+1/t}) quantity)."""
+        return sum(len(b) for b in self.bunches.values())
+
+    def query(self, u: Vertex, v: Vertex) -> float:
+        """Approximate ``d(u, v)`` within factor ``2t - 1``.
+
+        The stretch guarantee is stated for connected (components of)
+        graphs; ``inf`` is returned when the walk runs out of witnesses
+        (which certifies disconnection for connected-level hierarchies).
+        Returns 0.0 for ``u == v``.
+        """
+        if u == v:
+            return 0.0
+        # Invariant: w = p_i(u) and d_uw = d(u, w); at level 0, p_0(u) = u.
+        w, d_uw = u, 0.0
+        i = 0
+        while w not in self.bunches[v]:
+            i += 1
+            if i >= self.t:
+                return INF
+            u, v = v, u
+            entry = self.witnesses[i].get(u)
+            if entry is None:
+                return INF
+            w, d_uw = entry
+        return d_uw + self.bunches[v][w]
+
+
+def build_distance_oracle(
+    graph: BaseGraph,
+    t: int,
+    seed: RandomLike = None,
+    sample_probability: Optional[float] = None,
+) -> DistanceOracle:
+    """Preprocess a TZ distance oracle of stretch ``2t - 1``."""
+    if t < 1:
+        raise InvalidStretch(f"hierarchy depth t must be >= 1, got {t}")
+    rng = ensure_rng(seed)
+    vertices = list(graph.vertices())
+    levels = sample_hierarchy(vertices, t, rng, sample_probability)
+    # The query walk needs the top nonempty level A_{t-1} to be nonempty
+    # (every bunch contains all of it); TZ resample on failure — we apply
+    # the equivalent fix of promoting one random vertex up the hierarchy.
+    if vertices and not levels[t - 1]:
+        pick = rng.choice(vertices)
+        for i in range(1, t):
+            levels[i].add(pick)
+
+    witnesses: List[Dict[Vertex, Tuple[Vertex, float]]] = [
+        _multi_source_witnesses(graph, levels[i]) if levels[i] else {}
+        for i in range(t)
+    ]
+
+    bunches: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in vertices}
+    for i in range(t):
+        next_dist = (
+            _multi_source_distances(graph, levels[i + 1]) if levels[i + 1] else {}
+        )
+        for w in levels[i] - levels[i + 1]:
+            cluster = _cluster_distances(graph, w, next_dist)
+            for v, d in cluster.items():
+                bunches[v][w] = d
+    return DistanceOracle(t=t, witnesses=witnesses, bunches=bunches)
+
+
+def _multi_source_witnesses(
+    graph: BaseGraph, sources: Set[Vertex]
+) -> Dict[Vertex, Tuple[Vertex, float]]:
+    """For each vertex, its nearest source and the distance to it."""
+    import heapq
+
+    out: Dict[Vertex, Tuple[Vertex, float]] = {}
+    heap: List[Tuple[float, int, Vertex, Vertex]] = []
+    counter = 0
+    for s in sources:
+        heap.append((0.0, counter, s, s))
+        counter += 1
+    heapq.heapify(heap)
+    while heap:
+        d, _, v, source = heapq.heappop(heap)
+        if v in out:
+            continue
+        out[v] = (source, d)
+        items = (
+            graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
+        )
+        for u, w in items:
+            if u not in out:
+                heapq.heappush(heap, (d + w, counter, u, source))
+                counter += 1
+    return out

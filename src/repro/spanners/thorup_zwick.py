@@ -1,0 +1,147 @@
+"""Thorup–Zwick (2t-1)-spanner via sampled vertex hierarchies.
+
+The Chechik–Langberg–Peleg–Roditty fault-tolerant construction (the
+baseline the paper improves on) is built around the Thorup–Zwick distance
+oracle's cluster structure. We implement the spanner variant: sample a
+hierarchy ``V = A_0 ⊇ A_1 ⊇ ... ⊇ A_t = ∅`` (each level keeps a vertex
+with probability ``n^{-1/t}``), and for every center ``w ∈ A_i \\ A_{i+1}``
+add the shortest-path tree of its *cluster*
+
+    C(w) = { v : d(w, v) < d(A_{i+1}, v) }.
+
+The union of these trees is a (2t-1)-spanner with expected size
+``O(t · n^{1 + 1/t})`` [TZ05].
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..errors import InvalidStretch
+from ..graph.graph import BaseGraph
+from ..rng import RandomLike, ensure_rng
+
+Vertex = Hashable
+
+INF = math.inf
+
+
+def _multi_source_distances(
+    graph: BaseGraph, sources: Set[Vertex]
+) -> Dict[Vertex, float]:
+    """Distance from each vertex to its nearest source (INF if none)."""
+    dist: Dict[Vertex, float] = {}
+    heap: List[Tuple[float, int, Vertex]] = []
+    counter = 0
+    for s in sources:
+        heap.append((0.0, counter, s))
+        counter += 1
+    heapq.heapify(heap)
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        items = graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
+        for u, w in items:
+            if u not in dist:
+                heapq.heappush(heap, (d + w, counter, u))
+                counter += 1
+    return dist
+
+
+def _cluster_tree_edges(
+    graph: BaseGraph, center: Vertex, barrier: Dict[Vertex, float]
+) -> List[Tuple[Vertex, Vertex]]:
+    """Shortest-path-tree edges of C(center) under the TZ barrier rule.
+
+    Dijkstra from ``center`` restricted to vertices ``v`` with
+    ``d(center, v) < barrier[v]`` (``barrier`` is the distance to the next
+    hierarchy level). The classical hierarchy property guarantees the
+    restriction is closed under shortest-path prefixes.
+    """
+    dist: Dict[Vertex, float] = {}
+    parent: Dict[Vertex, Vertex] = {}
+    best: Dict[Vertex, float] = {center: 0.0}
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, center)]
+    counter = 1
+    edges: List[Tuple[Vertex, Vertex]] = []
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        if v != center:
+            edges.append((parent[v], v))
+        items = graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
+        for u, w in items:
+            if u in dist:
+                continue
+            nd = d + w
+            if nd >= barrier.get(u, INF):
+                continue
+            if nd < best.get(u, INF):
+                best[u] = nd
+                parent[u] = v
+                heapq.heappush(heap, (nd, counter, u))
+                counter += 1
+    return edges
+
+
+def sample_hierarchy(
+    vertices: List[Vertex], t: int, rng, sample_probability: Optional[float] = None
+) -> List[Set[Vertex]]:
+    """Sample the TZ hierarchy ``A_0 ⊇ ... ⊇ A_t = ∅``.
+
+    ``sample_probability`` defaults to ``n^{-1/t}``. The top level is
+    forced empty, per the TZ definition.
+    """
+    n = len(vertices)
+    p = sample_probability if sample_probability is not None else n ** (-1.0 / t)
+    levels: List[Set[Vertex]] = [set(vertices)]
+    for _ in range(1, t):
+        levels.append({v for v in levels[-1] if rng.random() < p})
+    levels.append(set())
+    return levels
+
+
+def thorup_zwick_spanner(
+    graph: BaseGraph,
+    t: int,
+    seed: RandomLike = None,
+    sample_probability: Optional[float] = None,
+) -> BaseGraph:
+    """Build a Thorup–Zwick ``(2t - 1)``-spanner.
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted graph.
+    t:
+        Hierarchy depth; the stretch is ``2t - 1`` and the expected size is
+        ``O(t · n^{1+1/t})``.
+    seed:
+        Randomness for the level sampling.
+    sample_probability:
+        Override the per-level survival probability (default ``n^{-1/t}``).
+    """
+    if t < 1:
+        raise InvalidStretch(f"hierarchy depth t must be >= 1, got {t}")
+    rng = ensure_rng(seed)
+    vertices = list(graph.vertices())
+    spanner = type(graph)()
+    spanner.add_vertices(vertices)
+    if not vertices:
+        return spanner
+
+    levels = sample_hierarchy(vertices, t, rng, sample_probability)
+    # Distance to the next level, for every level i: the "barrier".
+    for i in range(t):
+        barrier = _multi_source_distances(graph, levels[i + 1]) if levels[i + 1] else {}
+        centers = levels[i] - levels[i + 1]
+        for w in centers:
+            for a, b in _cluster_tree_edges(graph, w, barrier):
+                spanner.add_edge(a, b, graph.weight(a, b))
+    return spanner

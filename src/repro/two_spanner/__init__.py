@@ -1,0 +1,102 @@
+"""Section 3 machinery: Minimum Cost r-Fault Tolerant 2-Spanner.
+
+LP relaxations (the [DK10] flow LP and the paper's knapsack-cover LP (4)),
+the Lemma 3.2 separation oracle, Algorithm 1 threshold rounding, the
+Moser–Tardos O(log Δ) rounding of Theorem 3.4, an exact branch-and-bound
+solver for tiny instances, and the paper's two integrality-gap
+demonstrations.
+"""
+
+from .approx import ApproxResult, approximate_ft2_spanner, dk10_baseline
+from .client_server import (
+    ClientServerResult,
+    approximate_client_server_2spanner,
+    build_client_server_lp,
+    client_edge_satisfied,
+    is_client_server_ft2_spanner,
+    solve_client_server_lp,
+)
+from .combinatorial import GreedyFT2Result, greedy_ft2_spanner
+from .exact import ExactResult, exact_minimum_ft2_spanner
+from .gaps import (
+    CompleteGraphGap,
+    GadgetGap,
+    gadget_optimum,
+    kc_gap_on_gadget,
+    old_lp_gap_on_complete_graph,
+)
+from .lll import LLLResult, moser_tardos_rounding
+from .lp_new import (
+    FT2LPResult,
+    FT2SpannerLP,
+    build_ft2_lp,
+    f_var,
+    knapsack_cover_oracle,
+    solve_ft2_lp,
+    x_var,
+)
+from .lp_old import (
+    OldLPResult,
+    build_old_lp,
+    complete_graph_fractional_value,
+    complete_graph_integral_lower_bound,
+    solve_old_lp,
+)
+from .paths2 import all_two_paths, path_edges, surviving_midpoints, two_path_midpoints
+from .rounding import (
+    RoundingResult,
+    alpha_log_delta,
+    alpha_log_n,
+    alpha_r_log_n,
+    draw_thresholds,
+    round_once,
+    round_until_valid,
+    select_edges,
+)
+
+__all__ = [
+    "ApproxResult",
+    "ClientServerResult",
+    "CompleteGraphGap",
+    "ExactResult",
+    "FT2LPResult",
+    "FT2SpannerLP",
+    "GadgetGap",
+    "GreedyFT2Result",
+    "LLLResult",
+    "OldLPResult",
+    "RoundingResult",
+    "all_two_paths",
+    "alpha_log_delta",
+    "alpha_log_n",
+    "alpha_r_log_n",
+    "approximate_client_server_2spanner",
+    "approximate_ft2_spanner",
+    "build_client_server_lp",
+    "build_ft2_lp",
+    "build_old_lp",
+    "client_edge_satisfied",
+    "complete_graph_fractional_value",
+    "complete_graph_integral_lower_bound",
+    "dk10_baseline",
+    "draw_thresholds",
+    "exact_minimum_ft2_spanner",
+    "f_var",
+    "gadget_optimum",
+    "greedy_ft2_spanner",
+    "is_client_server_ft2_spanner",
+    "kc_gap_on_gadget",
+    "knapsack_cover_oracle",
+    "moser_tardos_rounding",
+    "old_lp_gap_on_complete_graph",
+    "path_edges",
+    "round_once",
+    "round_until_valid",
+    "select_edges",
+    "solve_client_server_lp",
+    "solve_ft2_lp",
+    "solve_old_lp",
+    "surviving_midpoints",
+    "two_path_midpoints",
+    "x_var",
+]

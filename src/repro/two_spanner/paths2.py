@@ -1,0 +1,71 @@
+"""Enumeration of length-2 paths, the combinatorial core of Section 3.
+
+For an edge ``(u, v)`` the paper writes ``P_{u,v}`` for the set of paths of
+length exactly two from ``u`` to ``v``. In a digraph these are exactly the
+midpoints ``z`` with arcs ``(u, z)`` and ``(z, v)``; in an undirected graph,
+the common neighbours of ``u`` and ``v``. Because a length-2 path is
+determined by its midpoint, each edge of the graph lies on at most one path
+of ``P_{u,v}`` for fixed ``(u, v)`` — which is why the capacity constraints
+of LP (3)/(4) reduce to ``f_P <= x_e`` for the two edges of ``P``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..graph.graph import BaseGraph
+
+Vertex = Hashable
+EdgeKey = Tuple[Vertex, Vertex]
+
+
+def two_path_midpoints(graph: BaseGraph, u: Vertex, v: Vertex) -> List[Vertex]:
+    """Midpoints ``z`` of length-2 paths from ``u`` to ``v`` in ``graph``."""
+    if not graph.has_vertex(u) or not graph.has_vertex(v):
+        return []
+    if graph.directed:
+        mids = set(graph.successors(u)) & set(graph.predecessors(v))
+    else:
+        mids = set(graph.neighbors(u)) & set(graph.neighbors(v))
+    mids.discard(u)
+    mids.discard(v)
+    return sorted(mids, key=repr)
+
+
+def all_two_paths(graph: BaseGraph) -> Dict[EdgeKey, List[Vertex]]:
+    """Map every edge ``(u, v)`` of the graph to its ``P_{u,v}`` midpoints.
+
+    For undirected graphs the key is the edge as iterated by
+    :meth:`~repro.graph.graph.Graph.edges` (one orientation per edge).
+    """
+    return {
+        (u, v): two_path_midpoints(graph, u, v) for u, v, _w in graph.edges()
+    }
+
+
+def path_edges(u: Vertex, z: Vertex, v: Vertex) -> List[EdgeKey]:
+    """The two edges of the length-2 path ``u -> z -> v``."""
+    return [(u, z), (z, v)]
+
+
+def surviving_midpoints(
+    midpoints: List[Vertex], faults: set
+) -> List[Vertex]:
+    """Midpoints whose path survives the fault set (midpoint not faulty)."""
+    return [z for z in midpoints if z not in faults]
+
+
+def canonical_edge_map(graph: BaseGraph) -> Dict[EdgeKey, EdgeKey]:
+    """Map both orientations of every edge to its canonical key.
+
+    :meth:`Graph.edges` yields each undirected edge in one arbitrary
+    orientation; path edges ``(u, z)`` produced by midpoint enumeration may
+    be stored the other way round. This map normalizes lookups — for
+    digraphs it is the identity on arcs.
+    """
+    mapping: Dict[EdgeKey, EdgeKey] = {}
+    for u, v, _w in graph.edges():
+        mapping[(u, v)] = (u, v)
+        if not graph.directed:
+            mapping[(v, u)] = (u, v)
+    return mapping

@@ -1,0 +1,137 @@
+"""Algorithm 1 — threshold rounding for the 2-spanner LPs.
+
+Every vertex draws an independent uniform threshold ``T_v ∈ [0, 1]``; edge
+``(u, v)`` is bought when ``min(T_u, T_v) <= α · x_{uv}``. With
+``α = C ln n`` against LP (4), Theorem 3.3 shows the output is a valid
+r-fault-tolerant 2-spanner with high probability at cost ``O(log n) · LP``;
+with ``α = C r ln n`` (the [DK10] setting) the same scheme rounds the old
+relaxation at cost ``O(r log n) · LP``.
+
+The rounding is Monte Carlo. The production driver
+:func:`round_until_valid` re-rounds on failure (Lemma 3.1 gives a
+polynomial validity check) and falls back to *repairing* — directly buying
+the unsatisfied edges — after ``max_attempts``, so it always returns a
+valid spanner; repairs are counted and reported, and in the benchmark runs
+with the theorem's α they essentially never trigger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.verify import unsatisfied_edges
+from ..errors import RoundingError
+from ..graph.graph import BaseGraph
+from ..rng import RandomLike, derive_rng, ensure_rng
+
+Vertex = Hashable
+EdgeKey = Tuple[Vertex, Vertex]
+
+
+def alpha_log_n(n: int, constant: float = 4.0) -> float:
+    """Theorem 3.3 inflation ``α = C ln n`` (C defaults to 4)."""
+    return constant * math.log(max(n, 2))
+
+
+def alpha_r_log_n(n: int, r: int, constant: float = 4.0) -> float:
+    """[DK10] baseline inflation ``α = C r ln n``."""
+    return constant * max(r, 1) * math.log(max(n, 2))
+
+
+def alpha_log_delta(delta: int, constant: float = 4.0) -> float:
+    """Theorem 3.4 inflation ``α = C ln Δ`` for bounded-degree graphs."""
+    return constant * math.log(max(delta, 2))
+
+
+def draw_thresholds(graph: BaseGraph, rng) -> Dict[Vertex, float]:
+    """Independent uniform [0, 1] thresholds, one per vertex."""
+    return {v: rng.random() for v in graph.vertices()}
+
+
+def select_edges(
+    graph: BaseGraph,
+    x_values: Dict[EdgeKey, float],
+    thresholds: Dict[Vertex, float],
+    alpha: float,
+) -> BaseGraph:
+    """Apply the Algorithm 1 selection rule to fixed thresholds."""
+    chosen = []
+    for (u, v), x in x_values.items():
+        if min(thresholds[u], thresholds[v]) <= alpha * x:
+            chosen.append((u, v))
+    return graph.edge_subgraph(chosen)
+
+
+def round_once(
+    graph: BaseGraph,
+    x_values: Dict[EdgeKey, float],
+    alpha: float,
+    seed: RandomLike = None,
+) -> BaseGraph:
+    """One Monte Carlo application of Algorithm 1."""
+    rng = ensure_rng(seed)
+    thresholds = draw_thresholds(graph, rng)
+    return select_edges(graph, x_values, thresholds, alpha)
+
+
+@dataclass
+class RoundingResult:
+    """Validated rounding output with attempt/repair accounting."""
+
+    spanner: BaseGraph
+    attempts: int
+    repaired_edges: List[EdgeKey] = field(default_factory=list)
+    alpha: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.spanner.total_weight()
+
+    @property
+    def num_edges(self) -> int:
+        return self.spanner.num_edges
+
+
+def round_until_valid(
+    graph: BaseGraph,
+    x_values: Dict[EdgeKey, float],
+    r: int,
+    alpha: float,
+    max_attempts: int = 20,
+    seed: RandomLike = None,
+    repair: bool = True,
+) -> RoundingResult:
+    """Las-Vegas driver for Algorithm 1.
+
+    Round, check Lemma 3.1, retry with fresh thresholds on failure. If
+    ``max_attempts`` roundings all fail and ``repair`` is set, the cheapest
+    failed attempt is patched by buying its unsatisfied host edges
+    outright (each repaired edge is recorded); otherwise raises
+    :class:`~repro.errors.RoundingError`.
+    """
+    rng = ensure_rng(seed)
+    best: Optional[BaseGraph] = None
+    best_cost = math.inf
+    for attempt in range(1, max_attempts + 1):
+        candidate = round_once(graph, x_values, alpha, derive_rng(rng, attempt))
+        missing = unsatisfied_edges(candidate, graph, r)
+        if not missing:
+            return RoundingResult(spanner=candidate, attempts=attempt, alpha=alpha)
+        cost = candidate.total_weight()
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+    if not repair or best is None:
+        raise RoundingError(
+            f"Algorithm 1 failed to produce a valid spanner in {max_attempts} attempts"
+        )
+    repaired = []
+    for (u, v) in unsatisfied_edges(best, graph, r):
+        best.add_edge(u, v, graph.weight(u, v))
+        repaired.append((u, v))
+    # Repairs can only satisfy more edges (Lemma 3.1 is monotone), so the
+    # patched graph is valid by construction.
+    return RoundingResult(
+        spanner=best, attempts=max_attempts, repaired_edges=repaired, alpha=alpha
+    )

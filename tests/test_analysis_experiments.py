@@ -1,0 +1,104 @@
+"""Multi-trial experiment runner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    compare_experiments,
+    run_experiment,
+)
+
+
+def _linear_trial(seed: int):
+    return {"value": float(seed), "squared": float(seed * seed)}
+
+
+class TestRunExperiment:
+    def test_collects_all_records(self):
+        result = run_experiment("linear", _linear_trial, seeds=range(5))
+        assert result.num_trials == 5
+        assert result.seeds == list(range(5))
+        assert result.metrics() == ["value", "squared"]
+
+    def test_summary_statistics(self):
+        result = run_experiment("linear", _linear_trial, seeds=[1, 2, 3])
+        s = result.summary("value")
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_missing_metric_in_some_records(self):
+        def trial(seed):
+            record = {"always": 1.0}
+            if seed % 2 == 0:
+                record["sometimes"] = 2.0
+            return record
+
+        result = run_experiment("partial", trial, seeds=range(4))
+        assert len(result.values("sometimes")) == 2
+        assert result.summary("always").count == 4
+
+    def test_error_raise_mode(self):
+        def bad_trial(seed):
+            if seed == 2:
+                raise RuntimeError("boom")
+            return {"x": 1.0}
+
+        with pytest.raises(RuntimeError):
+            run_experiment("bad", bad_trial, seeds=range(4))
+
+    def test_error_skip_mode(self):
+        def bad_trial(seed):
+            if seed == 2:
+                raise RuntimeError("boom")
+            return {"x": float(seed)}
+
+        result = run_experiment("bad", bad_trial, seeds=range(4), on_error="skip")
+        assert result.num_trials == 3
+        assert 2 not in result.seeds
+
+    def test_invalid_error_mode(self):
+        with pytest.raises(ValueError):
+            run_experiment("x", _linear_trial, seeds=[1], on_error="ignore")
+
+
+class TestRendering:
+    def test_to_table(self):
+        result = run_experiment("linear", _linear_trial, seeds=[1, 2])
+        table = result.to_table()
+        assert "experiment: linear" in table
+        assert "squared" in table
+
+    def test_compare_experiments(self):
+        a = run_experiment("a", _linear_trial, seeds=[1, 2])
+        b = run_experiment("b", _linear_trial, seeds=[3, 4])
+        table = compare_experiments([a, b], "value")
+        assert "metric: value" in table
+        assert "a" in table and "b" in table
+
+
+class TestWithRealAlgorithm:
+    def test_conversion_size_distribution(self):
+        """Integration: measure conversion size variance across seeds."""
+        from repro.core import fault_tolerant_spanner
+        from repro.graph import connected_gnp_graph
+
+        graph = connected_gnp_graph(16, 0.4, seed=0)
+
+        def trial(seed):
+            result = fault_tolerant_spanner(
+                graph, 3, 1, iterations=10, seed=seed
+            )
+            return {
+                "edges": float(result.num_edges),
+                "max_survivor": float(result.stats.max_survivor_size),
+            }
+
+        result = run_experiment("conversion", trial, seeds=range(8))
+        s = result.summary("edges")
+        assert s.count == 8
+        assert 0 < s.mean <= graph.num_edges
+        assert s.std >= 0.0

@@ -1,0 +1,132 @@
+"""CLI behaviour: generate / build / approximate / verify round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import load_json
+
+
+@pytest.fixture
+def host_path(tmp_path):
+    path = str(tmp_path / "host.json")
+    assert main(["generate", "gnp-connected", "--n", "14", "--p", "0.5",
+                 "--seed", "3", "--out", path]) == 0
+    return path
+
+
+@pytest.fixture
+def digraph_path(tmp_path):
+    path = str(tmp_path / "mesh.json")
+    assert main(["generate", "gnp-digraph", "--n", "10", "--p", "0.5",
+                 "--seed", "4", "--out", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, host_path):
+        graph = load_json(host_path)
+        assert graph.num_vertices == 14
+        assert not graph.directed
+
+    @pytest.mark.parametrize(
+        "kind,extra",
+        [
+            ("gnp", []),
+            ("complete", []),
+            ("grid", ["--n", "4"]),
+            ("regular", ["--n", "12", "--degree", "3"]),
+            ("geometric", ["--n", "15", "--radius", "0.5"]),
+        ],
+    )
+    def test_all_kinds(self, tmp_path, kind, extra):
+        path = str(tmp_path / f"{kind}.json")
+        assert main(["generate", kind, "--out", path, *extra]) == 0
+        assert load_json(path).num_vertices > 0
+
+    def test_digraph_kind(self, digraph_path):
+        assert load_json(digraph_path).directed
+
+
+class TestFtSpanner:
+    def test_build_verify_export(self, host_path, tmp_path, capsys):
+        out = str(tmp_path / "spanner.json")
+        dot = str(tmp_path / "spanner.dot")
+        code = main(
+            ["ft-spanner", host_path, "--k", "3", "--r", "1",
+             "--seed", "5", "--out", out, "--dot", dot,
+             "--verify", "exhaustive"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "exhaustively valid" in printed
+        spanner = load_json(out)
+        host = load_json(host_path)
+        assert spanner.num_edges <= host.num_edges
+        dot_text = open(dot).read()
+        assert dot_text.startswith("graph repro {")
+
+    def test_sampled_verification_default(self, host_path, capsys):
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "6"]) == 0
+        assert "sampled-valid" in capsys.readouterr().out
+
+    def test_insufficient_iterations_fail_exit_code(self, host_path):
+        # One iteration cannot be r=2 fault tolerant on this graph.
+        code = main(
+            ["ft-spanner", host_path, "--r", "2", "--iterations", "1",
+             "--seed", "7", "--verify", "exhaustive"]
+        )
+        assert code == 2
+
+
+class TestFt2Approx:
+    def test_approx_and_export(self, digraph_path, tmp_path, capsys):
+        out = str(tmp_path / "two.json")
+        assert main(["ft2-approx", digraph_path, "--r", "1", "--seed", "8",
+                     "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "LP (4) optimum" in printed
+        assert load_json(out).directed
+
+
+class TestVerify:
+    def test_verify_modes(self, host_path, tmp_path):
+        spanner_path = str(tmp_path / "sp.json")
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "9",
+                     "--out", spanner_path]) == 0
+        for mode in ("exhaustive", "sampled"):
+            assert main(["verify", host_path, spanner_path, "--k", "3",
+                         "--r", "1", "--mode", mode]) == 0
+
+    def test_verify_fail(self, host_path, tmp_path, capsys):
+        # An empty spanner fails verification.
+        from repro.graph import Graph, dump_json, load_json as lj
+
+        host = lj(host_path)
+        empty = Graph()
+        empty.add_vertices(host.vertices())
+        empty_path = str(tmp_path / "empty.json")
+        dump_json(empty, empty_path)
+        code = main(["verify", host_path, empty_path, "--k", "3", "--r", "0",
+                     "--mode", "exhaustive"])
+        assert code == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_lemma31_mode(self, digraph_path, tmp_path):
+        spanner_path = str(tmp_path / "two.json")
+        assert main(["ft2-approx", digraph_path, "--r", "1", "--seed", "10",
+                     "--out", spanner_path]) == 0
+        assert main(["verify", digraph_path, spanner_path, "--r", "1",
+                     "--mode", "lemma31"]) == 0
+
+
+def test_error_reporting(tmp_path, capsys):
+    # generating a regular graph with bad parity surfaces a clean error
+    path = str(tmp_path / "x.json")
+    code = main(["generate", "regular", "--n", "7", "--degree", "3",
+                 "--out", path])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

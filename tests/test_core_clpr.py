@@ -1,0 +1,69 @@
+"""CLPR09-style union-over-fault-sets baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    clpr_fault_tolerant_spanner,
+    count_fault_sets,
+    is_fault_tolerant_spanner,
+)
+from repro.errors import FaultToleranceError
+from repro.graph import complete_graph, connected_gnp_graph, is_subgraph
+
+
+def test_processes_every_fault_set():
+    g = connected_gnp_graph(10, 0.5, seed=1)
+    result = clpr_fault_tolerant_spanner(g, t=2, r=1, seed=2)
+    assert result.fault_sets_processed == count_fault_sets(10, 1)
+    assert result.stretch == 3
+
+
+def test_output_is_subgraph():
+    g = connected_gnp_graph(10, 0.5, seed=3)
+    result = clpr_fault_tolerant_spanner(g, t=2, r=1, seed=4)
+    assert is_subgraph(result.spanner, g)
+
+
+def test_validity_r1():
+    g = connected_gnp_graph(11, 0.5, seed=5)
+    result = clpr_fault_tolerant_spanner(g, t=2, r=1, seed=6)
+    assert is_fault_tolerant_spanner(result.spanner, g, k=3, r=1)
+
+
+def test_validity_r2_small():
+    g = connected_gnp_graph(9, 0.6, seed=7)
+    result = clpr_fault_tolerant_spanner(g, t=2, r=2, seed=8)
+    assert is_fault_tolerant_spanner(result.spanner, g, k=3, r=2)
+
+
+def test_shared_randomness_is_smaller_on_average():
+    """The CLPR09 insight: sharing the TZ hierarchy keeps the union small."""
+    g = complete_graph(16)
+    shared_sizes = []
+    fresh_sizes = []
+    for seed in range(5):
+        shared_sizes.append(
+            clpr_fault_tolerant_spanner(g, 2, 1, seed=seed).num_edges
+        )
+        fresh_sizes.append(
+            clpr_fault_tolerant_spanner(
+                g, 2, 1, seed=seed, shared_randomness=False
+            ).num_edges
+        )
+    assert sum(shared_sizes) < sum(fresh_sizes)
+
+
+def test_rejects_oversized_enumeration():
+    g = complete_graph(30)
+    with pytest.raises(FaultToleranceError):
+        clpr_fault_tolerant_spanner(g, 2, 3, max_fault_sets=100)
+
+
+def test_parameter_validation():
+    g = complete_graph(4)
+    with pytest.raises(FaultToleranceError):
+        clpr_fault_tolerant_spanner(g, 0, 1)
+    with pytest.raises(FaultToleranceError):
+        clpr_fault_tolerant_spanner(g, 2, -1)

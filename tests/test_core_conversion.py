@@ -1,0 +1,146 @@
+"""Theorem 2.1 conversion: validity, size accounting, schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    fault_tolerant_spanner,
+    fault_tolerant_spanner_until_valid,
+    is_fault_tolerant_spanner,
+    resolve_iterations,
+    survival_probability,
+)
+from repro.errors import FaultToleranceError, InvalidStretch
+from repro.graph import (
+    complete_graph,
+    connected_gnp_graph,
+    gnp_random_graph,
+    is_subgraph,
+)
+from repro.spanners import greedy_spanner, thorup_zwick_spanner
+
+
+class TestParameters:
+    def test_survival_probability(self):
+        assert survival_probability(1) == 0.5
+        assert survival_probability(2) == 0.5
+        assert survival_probability(4) == 0.25
+
+    def test_resolve_iterations_explicit_overrides(self):
+        assert resolve_iterations(100, 3, 17, "theorem", 4.0) == 17
+
+    def test_resolve_iterations_rejects_bad(self):
+        with pytest.raises(FaultToleranceError):
+            resolve_iterations(100, 3, 0, "theorem", 1.0)
+        with pytest.raises(FaultToleranceError):
+            resolve_iterations(100, 3, None, "nope", 1.0)
+
+    def test_schedule_magnitudes(self):
+        theorem = resolve_iterations(100, 3, None, "theorem", 1.0)
+        light = resolve_iterations(100, 3, None, "light", 1.0)
+        assert theorem == math.ceil(27 * math.log(100))
+        assert light == math.ceil(9 * math.log(100))
+
+    def test_invalid_stretch_and_r(self):
+        g = complete_graph(4)
+        with pytest.raises(InvalidStretch):
+            fault_tolerant_spanner(g, 0.5, 1)
+        with pytest.raises(FaultToleranceError):
+            fault_tolerant_spanner(g, 3, -1)
+
+
+class TestConversionOutput:
+    def test_r0_equals_single_base_run(self):
+        g = connected_gnp_graph(20, 0.3, seed=1)
+        result = fault_tolerant_spanner(g, 3, 0, seed=2)
+        assert result.stats.iterations == 1
+        assert is_subgraph(result.spanner, g)
+        base = greedy_spanner(g, 3)
+        assert result.num_edges == base.num_edges
+
+    def test_output_is_subgraph_spanning_all_vertices(self):
+        g = connected_gnp_graph(16, 0.4, seed=3)
+        result = fault_tolerant_spanner(g, 3, 2, seed=4)
+        assert is_subgraph(result.spanner, g)
+        assert result.spanner.vertex_set() == g.vertex_set()
+
+    def test_stats_accounting(self):
+        g = connected_gnp_graph(16, 0.4, seed=5)
+        result = fault_tolerant_spanner(g, 3, 2, iterations=10, seed=6)
+        s = result.stats
+        assert s.iterations == 10
+        assert len(s.survivor_sizes) == 10
+        assert len(s.union_edge_counts) == 10
+        assert s.final_size == result.num_edges
+        # union sizes are nondecreasing
+        assert all(a <= b for a, b in zip(s.union_edge_counts, s.union_edge_counts[1:]))
+        assert s.max_survivor_size <= g.num_vertices
+
+    def test_validity_r1_exhaustive(self):
+        g = connected_gnp_graph(13, 0.45, seed=7)
+        result = fault_tolerant_spanner(g, 3, 1, seed=8)
+        assert is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+
+    def test_validity_r2_exhaustive(self):
+        g = connected_gnp_graph(12, 0.5, seed=9)
+        result = fault_tolerant_spanner(g, 3, 2, seed=10)
+        assert is_fault_tolerant_spanner(result.spanner, g, 3, 2)
+
+    def test_works_with_other_base_algorithms(self):
+        g = connected_gnp_graph(12, 0.5, seed=11)
+        result = fault_tolerant_spanner(
+            g, 3, 1,
+            base_algorithm=lambda h, k: thorup_zwick_spanner(h, (int(k) + 1) // 2, seed=0),
+            seed=12,
+        )
+        assert is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_r1_validity(self, seed):
+        g = gnp_random_graph(11, 0.5, seed=seed)
+        result = fault_tolerant_spanner(g, 3, 1, seed=seed + 1)
+        assert is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+
+    def test_seed_determinism(self):
+        g = connected_gnp_graph(14, 0.4, seed=20)
+        a = fault_tolerant_spanner(g, 3, 2, seed=21)
+        b = fault_tolerant_spanner(g, 3, 2, seed=21)
+        assert sorted(map(tuple, a.spanner.edges())) == sorted(
+            map(tuple, b.spanner.edges())
+        )
+
+
+class TestAdaptiveVariant:
+    def test_until_valid_stops_early(self):
+        g = connected_gnp_graph(12, 0.5, seed=30)
+        result = fault_tolerant_spanner_until_valid(
+            g, 3, 1,
+            validity_check=lambda h: is_fault_tolerant_spanner(h, g, 3, 1),
+            batch=4,
+            seed=31,
+        )
+        assert is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+        # the adaptive run should not need the full theorem schedule
+        theorem = resolve_iterations(g.num_vertices, 1, None, "theorem", 16.0)
+        assert result.stats.iterations <= theorem
+
+    def test_until_valid_requires_r_ge_1(self):
+        g = complete_graph(4)
+        with pytest.raises(FaultToleranceError):
+            fault_tolerant_spanner_until_valid(
+                g, 3, 0, validity_check=lambda h: True
+            )
+
+    def test_until_valid_raises_on_impossible_check(self):
+        g = complete_graph(4)
+        with pytest.raises(FaultToleranceError):
+            fault_tolerant_spanner_until_valid(
+                g, 3, 1, validity_check=lambda h: False,
+                batch=2, max_iterations=6,
+            )

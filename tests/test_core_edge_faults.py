@@ -1,0 +1,143 @@
+"""Edge-fault-tolerant spanners: conversion, verifiers, and the k=2 lemma."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    edge_fault_sets,
+    edge_fault_tolerant_spanner,
+    edge_satisfied_for_edge_faults,
+    fault_tolerant_spanner,
+    is_edge_fault_tolerant_spanner,
+    is_edge_ft_2spanner,
+    sampled_edge_fault_check,
+)
+from repro.errors import FaultToleranceError, InvalidStretch
+from repro.graph import (
+    complete_digraph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    gnp_random_digraph,
+    is_subgraph,
+)
+from repro.spanners import greedy_spanner
+
+
+class TestEdgeFaultEnumeration:
+    def test_enumerates_all_sizes(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        sets = list(edge_fault_sets(edges, 2))
+        assert len(sets) == 1 + 3 + 3
+        assert () in sets
+
+    def test_respects_edge_count_cap(self):
+        edges = [(0, 1)]
+        sets = list(edge_fault_sets(edges, 5))
+        assert len(sets) == 2
+
+
+class TestEdgeFaultVerifiers:
+    def test_whole_graph_tolerates_edge_faults(self):
+        g = complete_graph(5)
+        assert is_edge_fault_tolerant_spanner(g, g, k=3, r=2)
+
+    def test_cycle_subgraph_fails(self):
+        g = cycle_graph(5)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        # Faulting another cycle edge disconnects h - F while g - F is a path.
+        assert not is_edge_fault_tolerant_spanner(h, g, k=10, r=1)
+
+    def test_sampled_check_consistency(self):
+        g = complete_graph(6)
+        assert sampled_edge_fault_check(g, g, k=1, r=2, trials=30, seed=0)
+
+    def test_sampled_check_finds_violation(self):
+        g = cycle_graph(6)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert not sampled_edge_fault_check(h, g, k=50, r=1, trials=300, seed=1)
+
+    def test_negative_r(self):
+        g = complete_graph(3)
+        with pytest.raises(FaultToleranceError):
+            is_edge_fault_tolerant_spanner(g, g, 1, -1)
+        with pytest.raises(FaultToleranceError):
+            is_edge_ft_2spanner(g, g, -1)
+
+
+class TestEdgeFaultConversion:
+    def test_r0_is_base_run(self):
+        g = connected_gnp_graph(15, 0.4, seed=1)
+        result = edge_fault_tolerant_spanner(g, 3, 0, seed=2)
+        assert result.num_edges == greedy_spanner(g, 3).num_edges
+
+    def test_output_subgraph_and_valid_r1(self):
+        g = connected_gnp_graph(10, 0.55, seed=3)
+        result = edge_fault_tolerant_spanner(g, 3, 1, seed=4)
+        assert is_subgraph(result.spanner, g)
+        assert is_edge_fault_tolerant_spanner(result.spanner, g, 3, 1)
+
+    def test_parameter_validation(self):
+        g = complete_graph(4)
+        with pytest.raises(InvalidStretch):
+            edge_fault_tolerant_spanner(g, 0.2, 1)
+        with pytest.raises(FaultToleranceError):
+            edge_fault_tolerant_spanner(g, 3, -1)
+
+    def test_stats_track_surviving_edges(self):
+        g = complete_graph(8)
+        result = edge_fault_tolerant_spanner(g, 3, 2, iterations=5, seed=5)
+        assert len(result.stats.survivor_sizes) == 5
+        assert all(0 <= s <= g.num_edges for s in result.stats.survivor_sizes)
+
+    def test_vertex_ft_implies_edge_ft_for_2spanner(self):
+        """A vertex-FT 2-spanner certificate is also an edge-FT one (the
+        per-edge conditions coincide)."""
+        g = complete_digraph(6)
+        result = fault_tolerant_spanner(g, 2, 1, iterations=40, seed=6)
+        from repro.core import is_ft_2spanner
+
+        if is_ft_2spanner(result.spanner, g, 1):
+            assert is_edge_ft_2spanner(result.spanner, g, 1)
+
+
+class TestEdgeFaultLemma31Analogue:
+    def test_kept_edge_suffices(self):
+        g = complete_digraph(3)
+        h = g.copy()
+        assert edge_satisfied_for_edge_faults(h, 0, 1, r=5)
+
+    def test_midpoint_counting(self):
+        g = complete_digraph(5)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert edge_satisfied_for_edge_faults(h, 0, 1, r=2)  # 3 midpoints
+        assert not edge_satisfied_for_edge_faults(h, 0, 1, r=3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000), r=st.integers(0, 2))
+    def test_lemma_equals_exhaustive_edge_faults(self, seed, r):
+        """The k=2 edge-fault condition ≡ the exhaustive definition.
+
+        This is the module's claimed equivalence, checked by enumeration
+        over every edge-fault set on random sub-digraphs.
+        """
+        import random
+
+        g = gnp_random_digraph(6, 0.55, seed=seed)
+        if g.num_edges > 14:  # keep C(m, 2) enumeration small
+            edges = list(g.edges())[:14]
+            g = g.edge_subgraph([(u, v) for u, v, _w in edges])
+        rng = random.Random(seed + 1)
+        keep = [(u, v) for u, v, _w in g.edges() if rng.random() < 0.7]
+        h = g.edge_subgraph(keep)
+        lemma = is_edge_ft_2spanner(h, g, r)
+        exhaustive = is_edge_fault_tolerant_spanner(h, g, 2, r)
+        assert lemma == exhaustive

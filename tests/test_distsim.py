@@ -1,0 +1,132 @@
+"""The LOCAL-model simulator: delivery semantics, halting, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim import NodeAlgorithm, Simulation, run_algorithm
+from repro.errors import DistributedError, ProtocolViolation
+from repro.graph import Graph, complete_graph, path_graph
+
+
+class Echo(NodeAlgorithm):
+    """Round 1: everyone halts, reporting messages seen."""
+
+    def on_start(self, ctx):
+        ctx.broadcast(("hello", ctx.node))
+
+    def on_round(self, ctx, inbox):
+        ctx.halt(result=sorted(sender for sender in inbox))
+
+
+class HopCounter(NodeAlgorithm):
+    """Floods a token from node 0; each node halts with its hop distance."""
+
+    def on_start(self, ctx):
+        ctx.state["dist"] = None
+        if ctx.node == 0:
+            ctx.state["dist"] = 0
+            ctx.broadcast(1)
+
+    def on_round(self, ctx, inbox):
+        if ctx.state["dist"] is not None:
+            ctx.halt(result=ctx.state["dist"])
+            return
+        if inbox:
+            d = min(inbox.values())
+            ctx.state["dist"] = d
+            ctx.broadcast(d + 1)
+
+
+class TestSimulator:
+    def test_neighbors_hear_broadcast(self):
+        g = path_graph(3)
+        result = run_algorithm(g, lambda v: Echo())
+        assert result.results[0] == [1]
+        assert result.results[1] == [0, 2]
+        assert result.rounds == 1
+
+    def test_message_count(self):
+        g = complete_graph(4)
+        result = run_algorithm(g, lambda v: Echo())
+        # 4 nodes broadcast to 3 neighbours each in round 0.
+        assert result.messages_sent == 12
+
+    def test_hop_counting_matches_bfs(self):
+        g = path_graph(5)
+        result = run_algorithm(g, lambda v: HopCounter())
+        assert result.results == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        # node at distance d halts in round d+1
+        assert result.rounds == 5
+
+    def test_rejects_directed_graph(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(DistributedError):
+            Simulation(g, lambda v: Echo())
+
+    def test_max_rounds_guard(self):
+        class Forever(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                pass  # never halts
+
+        with pytest.raises(DistributedError):
+            run_algorithm(path_graph(2), lambda v: Forever(), max_rounds=5)
+
+
+class TestProtocolEnforcement:
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.send("nowhere", "boom")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ProtocolViolation):
+            run_algorithm(path_graph(2), lambda v: Bad())
+
+    def test_double_send_rejected(self):
+        class Chatty(NodeAlgorithm):
+            def on_start(self, ctx):
+                for n in ctx.neighbors:
+                    ctx.send(n, 1)
+                    ctx.send(n, 2)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ProtocolViolation):
+            run_algorithm(path_graph(2), lambda v: Chatty())
+
+    def test_halted_nodes_stop_processing(self):
+        class HaltFirst(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.state["rounds_seen"] = ctx.state.get("rounds_seen", 0) + 1
+                ctx.halt(result=ctx.state["rounds_seen"])
+
+        result = run_algorithm(path_graph(3), lambda v: HaltFirst())
+        assert all(v == 1 for v in result.results.values())
+
+    def test_node_rngs_are_independent(self):
+        class Draw(NodeAlgorithm):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(result=ctx.rng.random())
+
+        result = run_algorithm(complete_graph(5), lambda v: Draw(), seed=3)
+        draws = list(result.results.values())
+        assert len(set(draws)) == len(draws)
+
+    def test_seeded_simulation_deterministic(self):
+        class Draw(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt(result=ctx.rng.random())
+
+        a = run_algorithm(complete_graph(4), lambda v: Draw(), seed=9)
+        b = run_algorithm(complete_graph(4), lambda v: Draw(), seed=9)
+        assert a.results == b.results

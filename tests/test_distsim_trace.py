@@ -1,0 +1,73 @@
+"""Tracing hooks of the LOCAL-model simulator."""
+
+from __future__ import annotations
+
+from repro.distsim import NodeAlgorithm, Simulation, SimulationTracer
+from repro.graph import complete_graph, path_graph
+
+
+class FloodAndHalt(NodeAlgorithm):
+    """Node 0 floods a token; every node halts on receipt (0 in round 1)."""
+
+    def on_start(self, ctx):
+        if ctx.node == 0:
+            ctx.broadcast("token")
+
+    def on_round(self, ctx, inbox):
+        if ctx.node == 0 or inbox:
+            if inbox or ctx.node == 0:
+                ctx.broadcast("token") if not ctx.halted else None
+            ctx.halt(result=ctx.round)
+            return
+
+
+def test_trace_records_rounds_and_messages():
+    tracer = SimulationTracer()
+    g = path_graph(4)
+    sim = Simulation(g, lambda v: FloodAndHalt(), tracer=tracer)
+    result = sim.run()
+    assert tracer.num_rounds == result.rounds
+    # total delivered messages cannot exceed total sent
+    assert tracer.total_messages <= result.messages_sent
+    # round indexes are 1-based and contiguous
+    assert [r.round_index for r in tracer.rounds] == list(
+        range(1, result.rounds + 1)
+    )
+
+
+def test_halting_rounds_follow_distance():
+    tracer = SimulationTracer()
+    g = path_graph(5)
+    Simulation(g, lambda v: FloodAndHalt(), tracer=tracer).run()
+    halts = {v: tracer.halting_round(v) for v in g.vertices()}
+    assert halts[0] == 1
+    # halting round grows with hop distance from the source
+    assert halts[1] < halts[3]
+    assert tracer.halting_round("nonexistent") is None
+
+
+def test_active_node_counts_decrease():
+    tracer = SimulationTracer()
+    Simulation(path_graph(5), lambda v: FloodAndHalt(), tracer=tracer).run()
+    active = [r.active_nodes for r in tracer.rounds]
+    assert all(a >= b for a, b in zip(active, active[1:]))
+    assert active[-1] == 0
+
+
+def test_delivered_edges_recorded_when_enabled():
+    tracer = SimulationTracer(record_edges=True)
+    g = complete_graph(3)
+    Simulation(g, lambda v: FloodAndHalt(), tracer=tracer).run()
+    first_round = tracer.rounds[0]
+    # node 0 broadcast to both neighbours in round 0, delivered in round 1
+    assert (0, 1) in first_round.delivered_edges
+    assert (0, 2) in first_round.delivered_edges
+
+
+def test_message_histogram_and_quiet_rounds():
+    tracer = SimulationTracer()
+    Simulation(path_graph(3), lambda v: FloodAndHalt(), tracer=tracer).run()
+    histogram = tracer.message_histogram()
+    assert set(histogram) == {r.round_index for r in tracer.rounds}
+    for idx in tracer.quiet_rounds():
+        assert histogram[idx] == 0

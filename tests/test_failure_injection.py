@@ -1,0 +1,135 @@
+"""Failure injection and metamorphic properties of the fault-tolerance stack.
+
+These tests attack the verifiers and constructions with *crafted* failures
+rather than random ones: if a verifier ever accepts a spanner with a
+planted weakness, or a construction loses validity under a legal mutation,
+these catch it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    count_two_paths,
+    fault_tolerant_spanner,
+    first_violating_fault_set,
+    is_fault_tolerant_spanner,
+    is_ft_2spanner,
+    unsatisfied_edges,
+)
+from repro.graph import (
+    complete_digraph,
+    complete_graph,
+    connected_gnp_graph,
+    gnp_random_digraph,
+)
+from repro.two_spanner import approximate_ft2_spanner
+
+
+class TestPlantedWeaknesses:
+    def test_verifier_catches_midpoint_assassination(self):
+        """Remove an edge and all but r of its 2-path midpoints' links:
+        the exhaustive verifier must find the killing fault set."""
+        g = complete_graph(7)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        # sever 0's connection to all midpoints except 2 and 3
+        for z in (4, 5, 6):
+            h.remove_edge(0, z)
+        # now only midpoints 2, 3 connect 0 to 1 at distance 2; with r = 2
+        # the fault set {2, 3} stretches 0-1 beyond k = 2... d_{h-F}(0,1)
+        # may even be 3. Check k=2, r=2 fails and the witness kills 2, 3.
+        assert not is_fault_tolerant_spanner(h, g, 2, 2)
+        witness = first_violating_fault_set(h, g, 2, 2)
+        assert witness is not None
+        assert set(witness) <= {2, 3, 4, 5, 6}
+
+    def test_lemma31_catches_exactly_r_paths(self):
+        g = complete_digraph(6)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        # leave exactly r+1 midpoints, then delete one more
+        assert count_two_paths(h, 0, 1) == 4
+        assert is_ft_2spanner(h, g, 3)
+        h.remove_edge(0, 2)  # kills midpoint 2 for (0, 1)
+        assert not is_ft_2spanner(h, g, 3)
+        assert (0, 1) in unsatisfied_edges(h, g, 3)
+
+    def test_verifier_rejects_silent_downgrade(self):
+        """A spanner valid for r must be checkable (and possibly invalid)
+        for r+1 — validity is monotone *downward* in r, never upward."""
+        g = complete_digraph(5)
+        result = approximate_ft2_spanner(g, 1, seed=1)
+        assert is_ft_2spanner(result.spanner, g, 1)
+        assert is_ft_2spanner(result.spanner, g, 0)  # downward monotone
+
+
+class TestMetamorphicProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_adding_edges_preserves_ft(self, seed):
+        """FT-ness is monotone under adding host edges to the spanner."""
+        g = connected_gnp_graph(11, 0.5, seed=seed)
+        result = fault_tolerant_spanner(g, 3, 1, seed=seed + 1)
+        spanner = result.spanner.copy()
+        rng = random.Random(seed + 2)
+        missing = [
+            (u, v, w) for u, v, w in g.edges() if not spanner.has_edge(u, v)
+        ]
+        for u, v, w in rng.sample(missing, min(3, len(missing))):
+            spanner.add_edge(u, v, w)
+        assert is_fault_tolerant_spanner(spanner, g, 3, 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_r_monotonicity_of_outputs(self, seed):
+        """An r=2-valid output is r=1 valid (definition is monotone)."""
+        g = connected_gnp_graph(10, 0.55, seed=seed)
+        result = fault_tolerant_spanner(g, 3, 2, seed=seed + 1)
+        if is_fault_tolerant_spanner(result.spanner, g, 3, 2):
+            assert is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+            assert is_fault_tolerant_spanner(result.spanner, g, 3, 0)
+
+    def test_whole_graph_is_always_ft(self):
+        for seed in range(3):
+            g = gnp_random_digraph(8, 0.5, seed=seed)
+            assert is_ft_2spanner(g, g, 10)
+            assert is_fault_tolerant_spanner(g, g, 1, 2)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_union_of_two_ft_spanners_is_ft(self, seed):
+        """Union preserves fault tolerance (used implicitly by Thm 2.1)."""
+        g = connected_gnp_graph(10, 0.5, seed=seed)
+        a = fault_tolerant_spanner(g, 3, 1, seed=seed + 1).spanner
+        b = fault_tolerant_spanner(g, 3, 1, seed=seed + 2).spanner
+        union = a.copy()
+        for u, v, w in b.edges():
+            union.add_edge(u, v, w)
+        if is_fault_tolerant_spanner(a, g, 3, 1):
+            assert is_fault_tolerant_spanner(union, g, 3, 1)
+
+    def test_relabeling_invariance(self):
+        """Fault tolerance is a graph property: relabeling vertices of both
+        host and spanner preserves the verdict."""
+        g = connected_gnp_graph(9, 0.5, seed=7)
+        result = fault_tolerant_spanner(g, 3, 1, seed=8)
+        verdict = is_fault_tolerant_spanner(result.spanner, g, 3, 1)
+
+        mapping = {v: f"node-{v}" for v in g.vertices()}
+        relabeled_g = type(g)()
+        relabeled_g.add_vertices(mapping.values())
+        for u, v, w in g.edges():
+            relabeled_g.add_edge(mapping[u], mapping[v], w)
+        relabeled_h = type(g)()
+        relabeled_h.add_vertices(mapping.values())
+        for u, v, w in result.spanner.edges():
+            relabeled_h.add_edge(mapping[u], mapping[v], w)
+        assert (
+            is_fault_tolerant_spanner(relabeled_h, relabeled_g, 3, 1) == verdict
+        )

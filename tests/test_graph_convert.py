@@ -1,0 +1,48 @@
+"""networkx bridge round-trips."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import DiGraph, Graph, from_networkx, gnp_random_graph, to_networkx
+
+
+def test_roundtrip_undirected():
+    g = gnp_random_graph(15, 0.4, seed=3, weight_range=(0.5, 2.0))
+    back = from_networkx(to_networkx(g))
+    assert back.vertex_set() == g.vertex_set()
+    assert back.num_edges == g.num_edges
+    for u, v, w in g.edges():
+        assert back.weight(u, v) == pytest.approx(w)
+
+
+def test_roundtrip_directed():
+    g = DiGraph()
+    g.add_edge("a", "b", 2.0)
+    g.add_edge("b", "a", 3.0)
+    nxg = to_networkx(g)
+    assert nxg.is_directed()
+    back = from_networkx(nxg)
+    assert back.directed
+    assert back.weight("a", "b") == 2.0
+    assert back.weight("b", "a") == 3.0
+
+
+def test_from_networkx_default_weight():
+    nxg = nx.Graph()
+    nxg.add_edge(1, 2)  # no weight attribute
+    g = from_networkx(nxg)
+    assert g.weight(1, 2) == 1.0
+
+
+def test_from_networkx_rejects_multigraph():
+    with pytest.raises(TypeError):
+        from_networkx(nx.MultiGraph())
+
+
+def test_isolated_vertices_survive():
+    g = Graph()
+    g.add_vertex("lonely")
+    back = from_networkx(to_networkx(g))
+    assert back.has_vertex("lonely")

@@ -1,0 +1,155 @@
+"""Generator correctness: sizes, structure, determinism under seeds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    barabasi_albert_graph,
+    complete_bipartite_graph,
+    complete_digraph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    gnp_random_digraph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    knapsack_gap_gadget,
+    layered_fault_graph,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+
+    def test_complete_digraph(self):
+        g = complete_digraph(5)
+        assert g.num_edges == 20
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        # no intra-side edges
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(3, 4)
+
+    def test_path_cycle_star(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert star_graph(7).num_edges == 7
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert g.num_edges == 4 * 16 // 2
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+
+class TestRandomFamilies:
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(8, 0.0, seed=1).num_edges == 0
+        assert gnp_random_graph(8, 1.0, seed=1).num_edges == 28
+
+    def test_gnp_seed_determinism(self):
+        a = gnp_random_graph(20, 0.3, seed=7)
+        b = gnp_random_graph(20, 0.3, seed=7)
+        assert sorted(map(tuple, a.edges())) == sorted(map(tuple, b.edges()))
+
+    def test_gnp_weight_range(self):
+        g = gnp_random_graph(12, 0.5, seed=3, weight_range=(2.0, 4.0))
+        assert all(2.0 <= w <= 4.0 for _u, _v, w in g.edges())
+
+    def test_gnp_digraph(self):
+        g = gnp_random_digraph(10, 1.0, seed=2)
+        assert g.num_edges == 90
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(5, 1.5)
+
+    def test_connected_gnp_is_connected(self):
+        g = connected_gnp_graph(25, 0.15, seed=11)
+        assert is_connected(g)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_random_regular_is_regular(self, seed):
+        g = random_regular_graph(12, 3, seed=seed)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(7, 3)
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4)
+
+    def test_barabasi_albert_size(self):
+        g = barabasi_albert_graph(30, 2, seed=5)
+        assert g.num_vertices == 30
+        # m initial star edges + (n - m - 1) * m attachment edges (upper
+        # bound; collisions with existing edges reduce the count slightly)
+        assert g.num_edges <= 2 + (30 - 3) * 2
+        assert g.num_edges >= 30  # connected and then some
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5)
+
+    def test_random_geometric_weights_are_distances(self):
+        g = random_geometric_graph(30, 0.4, seed=9)
+        assert all(0 < w <= 0.4 + 1e-9 for _u, _v, w in g.edges())
+
+    def test_random_geometric_unit_weights(self):
+        g = random_geometric_graph(20, 0.5, seed=9, euclidean_weights=False)
+        assert all(w == 1.0 for _u, _v, w in g.edges())
+
+
+class TestAdversarialInstances:
+    def test_gadget_structure(self):
+        g = knapsack_gap_gadget(3, expensive_cost=500.0)
+        assert g.num_vertices == 5
+        assert g.num_edges == 1 + 2 * 3
+        assert g.weight("u", "v") == 500.0
+        for i in range(3):
+            assert g.weight("u", ("w", i)) == 1.0
+            assert g.weight(("w", i), "v") == 1.0
+
+    def test_gadget_requires_positive_r(self):
+        with pytest.raises(GraphError):
+            knapsack_gap_gadget(0)
+
+    def test_layered_fault_graph(self):
+        g = layered_fault_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 9
+        # removing fewer than `width` vertices keeps the ends connected
+        survivor = g.without_vertices({(1, 0), (1, 1)})
+        assert is_connected(survivor.induced_subgraph(
+            [v for v in survivor.vertices()]
+        ))
+
+    def test_layered_invalid(self):
+        with pytest.raises(GraphError):
+            layered_fault_graph(0, 3)

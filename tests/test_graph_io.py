@@ -1,0 +1,152 @@
+"""Serialization round trips: JSON, edge lists, DOT export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    DiGraph,
+    Graph,
+    dump_edge_list,
+    dump_json,
+    gnp_random_digraph,
+    gnp_random_graph,
+    graph_from_dict,
+    graph_to_dict,
+    grid_graph,
+    load_edge_list,
+    load_json,
+    to_dot,
+)
+
+
+def _same_graph(a, b) -> bool:
+    if a.directed != b.directed or a.vertex_set() != b.vertex_set():
+        return False
+
+    def canon(graph):
+        out = []
+        for u, v, w in graph.edges():
+            if graph.directed:
+                out.append((repr(u), repr(v), w))
+            else:
+                lo, hi = sorted((repr(u), repr(v)))
+                out.append((lo, hi, w))
+        return sorted(out)
+
+    return canon(a) == canon(b)
+
+
+class TestJsonRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), directed=st.booleans())
+    def test_random_graphs(self, seed, directed):
+        if directed:
+            g = gnp_random_digraph(8, 0.4, seed=seed, cost_range=(0.5, 2.0))
+        else:
+            g = gnp_random_graph(8, 0.4, seed=seed, weight_range=(0.5, 2.0))
+        assert _same_graph(graph_from_dict(graph_to_dict(g)), g)
+
+    def test_tuple_vertices(self):
+        g = grid_graph(3, 3)
+        back = graph_from_dict(graph_to_dict(g))
+        assert _same_graph(back, g)
+        assert back.has_vertex((1, 2))
+
+    def test_isolated_vertices_survive(self):
+        g = Graph()
+        g.add_vertex("lonely")
+        assert graph_from_dict(graph_to_dict(g)).has_vertex("lonely")
+
+    def test_file_round_trip(self, tmp_path):
+        g = gnp_random_graph(10, 0.3, seed=1)
+        path = str(tmp_path / "g.json")
+        dump_json(g, path)
+        assert _same_graph(load_json(path), g)
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "repro-graph", "version": 99})
+
+    def test_rejects_unserializable_vertex(self):
+        g = Graph()
+        g.add_vertex(object())
+        with pytest.raises(GraphError):
+            graph_to_dict(g)
+
+
+class TestEdgeListRoundTrip:
+    def test_undirected(self):
+        g = gnp_random_graph(9, 0.4, seed=2)
+        buffer = io.StringIO()
+        dump_edge_list(g, buffer)
+        buffer.seek(0)
+        assert _same_graph(load_edge_list(buffer), g)
+
+    def test_directed(self):
+        g = gnp_random_digraph(7, 0.4, seed=3)
+        buffer = io.StringIO()
+        dump_edge_list(g, buffer)
+        buffer.seek(0)
+        back = load_edge_list(buffer)
+        assert back.directed
+        assert _same_graph(back, g)
+
+    def test_isolated_vertex_comment(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_vertex(7)
+        buffer = io.StringIO()
+        dump_edge_list(g, buffer)
+        buffer.seek(0)
+        assert load_edge_list(buffer).has_vertex(7)
+
+    def test_header_required(self):
+        with pytest.raises(GraphError):
+            load_edge_list(io.StringIO("1 2 1.0\n"))
+
+    def test_whitespace_label_rejected(self):
+        g = Graph()
+        g.add_edge("a b", "c")
+        with pytest.raises(GraphError):
+            dump_edge_list(g, io.StringIO())
+
+    def test_malformed_line(self):
+        text = "# repro-edge-list graph\n1 2\n"
+        with pytest.raises(GraphError):
+            load_edge_list(io.StringIO(text))
+
+
+class TestDot:
+    def test_undirected_syntax(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.0)
+        dot = to_dot(g)
+        assert dot.startswith("graph repro {")
+        assert '"a" -- "b"' in dot
+
+    def test_directed_syntax(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 2.0)
+        dot = to_dot(g)
+        assert dot.startswith("digraph repro {")
+        assert '"a" -> "b"' in dot
+
+    def test_highlight_marks_spanner_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        spanner = g.edge_subgraph([(1, 2)])
+        dot = to_dot(g, highlight=spanner)
+        lines = [line for line in dot.splitlines() if "--" in line]
+        red = [line for line in lines if "color=red" in line]
+        assert len(red) == 1
+        assert '"1" -- "2"' in red[0]

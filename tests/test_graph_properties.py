@@ -1,0 +1,89 @@
+"""Structural property helpers (density, girth, subgraph relations)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph import (
+    Graph,
+    average_degree,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    density,
+    girth,
+    gnp_random_graph,
+    grid_graph,
+    is_subgraph,
+    largest_component_fraction,
+    min_degree,
+    path_graph,
+    spanning_ratio,
+    star_graph,
+)
+
+
+class TestDensityDegree:
+    def test_density_complete(self):
+        assert density(complete_graph(6)) == 1.0
+
+    def test_density_empty(self):
+        assert density(Graph()) == 0.0
+
+    def test_average_degree(self):
+        g = path_graph(4)  # 3 edges, 4 vertices
+        assert average_degree(g) == 1.5
+
+    def test_degree_histogram(self):
+        g = star_graph(4)
+        hist = degree_histogram(g)
+        assert hist == {4: 1, 1: 4}
+
+    def test_min_degree(self):
+        assert min_degree(star_graph(3)) == 1
+        assert min_degree(complete_graph(4)) == 3
+        assert min_degree(Graph()) == 0
+
+
+class TestGirth:
+    def test_girth_of_cycle(self):
+        assert girth(cycle_graph(7)) == 7
+
+    def test_girth_of_tree_is_inf(self):
+        assert girth(path_graph(6)) == math.inf
+
+    def test_girth_of_complete(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_girth_of_grid(self):
+        assert girth(grid_graph(3, 3)) == 4
+
+
+class TestSubgraphRelations:
+    def test_is_subgraph_true(self):
+        g = complete_graph(4)
+        sub = g.edge_subgraph([(0, 1), (1, 2)])
+        assert is_subgraph(sub, g)
+
+    def test_is_subgraph_weight_mismatch(self):
+        g = Graph()
+        g.add_edge(0, 1, 2.0)
+        h = Graph()
+        h.add_edge(0, 1, 1.0)
+        assert not is_subgraph(h, g)
+
+    def test_is_subgraph_foreign_vertex(self):
+        g = complete_graph(3)
+        h = Graph()
+        h.add_vertex(99)
+        assert not is_subgraph(h, g)
+
+    def test_spanning_ratio(self):
+        g = complete_graph(4)  # 6 edges
+        sub = g.edge_subgraph([(0, 1), (1, 2), (2, 3)])
+        assert spanning_ratio(sub, g) == 0.5
+
+    def test_largest_component_fraction(self):
+        g = path_graph(4)
+        g.add_edge(10, 11)
+        assert largest_component_fraction(g) == 4 / 6

@@ -1,0 +1,115 @@
+"""Replacement paths / single-fault distance sensitivity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DisconnectedError, VertexNotFound
+from repro.graph import (
+    Graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    dijkstra,
+    fault_sensitivity,
+    most_fragile_pairs,
+    path_graph,
+    replacement_edge_distance,
+    replacement_path_distance,
+)
+
+
+class TestReplacementDistances:
+    def test_path_graph_vertex_fault_disconnects(self):
+        g = path_graph(5)
+        assert replacement_path_distance(g, 0, 4, 2) == math.inf
+
+    def test_cycle_reroutes_around_fault(self):
+        g = cycle_graph(6)  # d(0, 2) = 2 via vertex 1; detour = 4
+        assert replacement_path_distance(g, 0, 2, 1) == 4.0
+
+    def test_edge_fault(self):
+        g = cycle_graph(5)
+        assert replacement_edge_distance(g, 0, 1, (0, 1)) == 4.0
+        # removing a non-incident edge changes nothing
+        assert replacement_edge_distance(g, 0, 1, (2, 3)) == 1.0
+
+    def test_cannot_fault_endpoints(self):
+        g = path_graph(3)
+        with pytest.raises(VertexNotFound):
+            replacement_path_distance(g, 0, 2, 0)
+
+    def test_missing_edge_fault_is_noop(self):
+        g = path_graph(3)
+        assert replacement_edge_distance(g, 0, 2, (0, 2)) == 2.0
+
+
+class TestSensitivityProfile:
+    def test_profile_on_cycle(self):
+        g = cycle_graph(6)
+        profile = fault_sensitivity(g, 0, 3)
+        assert profile.base_distance == 3.0
+        # every interior vertex of the found path is a candidate
+        assert len(profile.vertex_faults) == 2
+        assert len(profile.edge_faults) == 3
+        # rerouting the other way costs 3 as well -> stretch 1.0? No: the
+        # detour around a faulted midpoint costs... other side is also 3.
+        assert profile.max_stretch_under_single_fault() == pytest.approx(1.0)
+
+    def test_worst_fault_identified(self):
+        # A lopsided theta graph: short path 0-1-2, long path 0-3-4-5-2.
+        g = Graph()
+        g.add_edge(0, 1); g.add_edge(1, 2)
+        g.add_edge(0, 3); g.add_edge(3, 4); g.add_edge(4, 5); g.add_edge(5, 2)
+        profile = fault_sensitivity(g, 0, 2)
+        assert profile.base_distance == 2.0
+        fault, dist = profile.worst_vertex_fault()
+        assert fault == 1 and dist == 4.0
+        edge_fault, edge_dist = profile.worst_edge_fault()
+        assert edge_dist == 4.0
+        assert profile.max_stretch_under_single_fault() == pytest.approx(2.0)
+
+    def test_unreachable_target_raises(self):
+        g = path_graph(3)
+        g.add_vertex(9)
+        with pytest.raises(DisconnectedError):
+            fault_sensitivity(g, 0, 9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_replacement_never_shorter_than_base(self, seed):
+        g = connected_gnp_graph(12, 0.35, seed=seed)
+        vertices = list(g.vertices())
+        s, t = vertices[0], vertices[-1]
+        profile = fault_sensitivity(g, s, t)
+        for d in profile.vertex_faults.values():
+            assert d >= profile.base_distance - 1e-9
+        for d in profile.edge_faults.values():
+            assert d >= profile.base_distance - 1e-9
+
+    def test_complete_graph_is_robust(self):
+        g = complete_graph(6)
+        profile = fault_sensitivity(g, 0, 1)
+        # direct edge: no interior vertices; only the edge itself matters
+        assert profile.vertex_faults == {}
+        assert profile.max_stretch_under_single_fault() == pytest.approx(2.0)
+
+
+class TestFragilityRanking:
+    def test_ranks_bridge_like_edges_first(self):
+        # Two triangles joined by a single edge: that edge is fragile.
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+            g.add_edge(a, b)
+        ranking = most_fragile_pairs(g, top=1)
+        (u, v, stretch) = ranking[0]
+        assert {u, v} == {2, 3}
+        assert stretch == math.inf  # removing the bridge disconnects
+
+    def test_top_parameter(self):
+        g = complete_graph(5)
+        assert len(most_fragile_pairs(g, top=3)) == 3

@@ -1,0 +1,108 @@
+"""Cross-module integration scenarios — the paper's pipelines end to end."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    approximate_ft2_spanner,
+    dk10_baseline,
+    fault_tolerant_spanner,
+    is_fault_tolerant_spanner,
+    is_ft_2spanner,
+)
+from repro.analysis import exhaustive_stretch_profile, log_log_slope
+from repro.core import clpr_fault_tolerant_spanner
+from repro.distributed import distributed_ft2_spanner, distributed_ft_spanner
+from repro.graph import (
+    connected_gnp_graph,
+    gnp_random_digraph,
+    knapsack_gap_gadget,
+    random_geometric_graph,
+)
+from repro.spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
+from repro.two_spanner import exact_minimum_ft2_spanner, solve_ft2_lp
+
+
+class TestSection2Pipeline:
+    def test_conversion_vs_clpr_same_guarantee(self):
+        """Both constructions must be valid; the conversion should not be
+        catastrophically larger (the paper's win is asymptotic in r)."""
+        g = connected_gnp_graph(11, 0.5, seed=1)
+        conv = fault_tolerant_spanner(g, 3, 1, seed=2)
+        clpr = clpr_fault_tolerant_spanner(g, 2, 1, seed=3)
+        assert is_fault_tolerant_spanner(conv.spanner, g, 3, 1)
+        assert is_fault_tolerant_spanner(clpr.spanner, g, 3, 1)
+
+    def test_conversion_with_every_base_algorithm(self):
+        g = connected_gnp_graph(11, 0.5, seed=4)
+        bases = {
+            "greedy": lambda h, k: greedy_spanner(h, k),
+            "tz": lambda h, k: thorup_zwick_spanner(h, 2, seed=0),
+            "bs": lambda h, k: baswana_sen_spanner(h, 2, seed=0),
+        }
+        for name, base in bases.items():
+            result = fault_tolerant_spanner(g, 3, 1, base_algorithm=base, seed=5)
+            assert is_fault_tolerant_spanner(result.spanner, g, 3, 1), name
+
+    def test_geometric_workload_weighted(self):
+        """General edge lengths via a geometric graph (Section 2 scope)."""
+        g = random_geometric_graph(24, 0.45, seed=6)
+        result = fault_tolerant_spanner(g, 3, 1, seed=7)
+        profile = exhaustive_stretch_profile(result.spanner, g, 1)
+        assert profile.max <= 3.0 + 1e-6
+
+    def test_stretch_profile_of_distributed_matches_centralized(self):
+        g = connected_gnp_graph(12, 0.5, seed=8)
+        central = fault_tolerant_spanner(g, 3, 1, seed=9)
+        dist = distributed_ft_spanner(g, 2, r=1, seed=10)
+        for spanner in (central.spanner, dist.spanner):
+            assert exhaustive_stretch_profile(spanner, g, 1).max <= 3.0 + 1e-6
+
+
+class TestSection3Pipeline:
+    def test_lp_round_verify_chain(self):
+        g = gnp_random_digraph(11, 0.5, seed=11)
+        for r in (0, 1, 2):
+            result = approximate_ft2_spanner(g, r, seed=12 + r)
+            assert is_ft_2spanner(result.spanner, g, r)
+            assert result.cost >= result.lp_objective - 1e-6
+
+    def test_theorem33_beats_or_matches_dk10_on_gadget(self):
+        g = knapsack_gap_gadget(3, 60.0)
+        new = approximate_ft2_spanner(g, 3, seed=20)
+        old = dk10_baseline(g, 3, seed=20)
+        assert is_ft_2spanner(new.spanner, g, 3)
+        assert is_ft_2spanner(old.spanner, g, 3)
+        assert new.cost <= old.cost + 1e-9
+
+    def test_exact_certifies_lp_and_approx_order(self):
+        g = knapsack_gap_gadget(2, 25.0)
+        lp = solve_ft2_lp(g, 2).objective
+        exact = exact_minimum_ft2_spanner(g, 2).cost
+        approx = approximate_ft2_spanner(g, 2, seed=21).cost
+        assert lp <= exact + 1e-6
+        assert exact <= approx + 1e-6
+
+    def test_distributed_matches_centralized_validity(self):
+        g = gnp_random_digraph(9, 0.6, seed=22)
+        central = approximate_ft2_spanner(g, 1, seed=23)
+        dist = distributed_ft2_spanner(g, 1, seed=24)
+        assert is_ft_2spanner(central.spanner, g, 1)
+        assert is_ft_2spanner(dist.spanner, g, 1)
+
+
+class TestScalingShapes:
+    def test_size_exponent_shrinks_with_k(self):
+        """Corollary 2.2 shape: larger stretch -> smaller exponent of n."""
+        sizes_k3, sizes_k5 = [], []
+        ns = [20, 30, 45]
+        for n in ns:
+            g = connected_gnp_graph(n, min(1.0, 8.0 / n + 0.2), seed=n)
+            sizes_k3.append(greedy_spanner(g, 3).num_edges)
+            sizes_k5.append(greedy_spanner(g, 5).num_edges)
+        slope3 = log_log_slope(ns, sizes_k3)
+        slope5 = log_log_slope(ns, sizes_k5)
+        assert slope5 <= slope3 + 0.25  # allow sampling noise

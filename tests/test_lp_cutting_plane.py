@@ -1,0 +1,100 @@
+"""Row-generation driver with separation oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverLimit
+from repro.lp import (
+    Constraint,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    LinearProgram,
+    solve_with_cuts,
+)
+
+
+def _box_lp():
+    """min x + y with x, y in [0, 10] (cuts will push the optimum up)."""
+    lp = LinearProgram()
+    lp.add_variable("x", 0.0, 10.0, objective=1.0)
+    lp.add_variable("y", 0.0, 10.0, objective=1.0)
+    return lp
+
+
+def test_no_oracles_solves_base_model():
+    lp = _box_lp()
+    result = solve_with_cuts(lp, [])
+    assert result.rounds == 1
+    assert result.cuts_added == 0
+    assert result.solution.objective == pytest.approx(0.0)
+
+
+def test_single_cut_family_converges():
+    lp = _box_lp()
+
+    def oracle(solution):
+        if solution.value("x") + solution.value("y") < 3.0 - 1e-9:
+            return [Constraint({"x": 1.0, "y": 1.0}, GREATER_EQUAL, 3.0)]
+        return []
+
+    result = solve_with_cuts(lp, [oracle])
+    assert result.solution.objective == pytest.approx(3.0)
+    assert result.cuts_added == 1
+    assert result.rounds == 2
+
+
+def test_objective_trace_is_nondecreasing():
+    """Each added cut can only push a minimization optimum up."""
+    lp = _box_lp()
+    thresholds = iter([1.0, 2.0, 5.0])
+
+    state = {"next": next(thresholds)}
+
+    def oracle(solution):
+        target = state["next"]
+        if target is None:
+            return []
+        if solution.value("x") < target - 1e-9:
+            return [Constraint({"x": 1.0}, GREATER_EQUAL, target)]
+        state["next"] = next(thresholds, None)
+        if state["next"] is None:
+            return []
+        return [Constraint({"x": 1.0}, GREATER_EQUAL, state["next"])]
+
+    result = solve_with_cuts(lp, [oracle])
+    trace = result.objective_trace
+    assert all(a <= b + 1e-9 for a, b in zip(trace, trace[1:]))
+    assert result.solution.value("x") == pytest.approx(5.0)
+
+
+def test_multiple_oracles_all_consulted():
+    lp = _box_lp()
+
+    def oracle_x(solution):
+        if solution.value("x") < 1.0 - 1e-9:
+            return [Constraint({"x": 1.0}, GREATER_EQUAL, 1.0)]
+        return []
+
+    def oracle_y(solution):
+        if solution.value("y") < 2.0 - 1e-9:
+            return [Constraint({"y": 1.0}, GREATER_EQUAL, 2.0)]
+        return []
+
+    result = solve_with_cuts(lp, [oracle_x, oracle_y])
+    assert result.solution.objective == pytest.approx(3.0)
+    assert result.cuts_added == 2
+
+
+def test_round_limit_raises():
+    lp = _box_lp()
+    counter = {"i": 0}
+
+    def endless_oracle(solution):
+        counter["i"] += 1
+        return [
+            Constraint({"x": 1.0}, GREATER_EQUAL, min(counter["i"] * 0.1, 9.0))
+        ]
+
+    with pytest.raises(SolverLimit):
+        solve_with_cuts(lp, [endless_oracle], max_rounds=3)

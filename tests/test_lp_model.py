@@ -1,0 +1,138 @@
+"""LP modelling layer: variables, constraints, feasibility checking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InfeasibleLP, LPError, UnboundedLP
+from repro.lp import (
+    EQUAL,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    Constraint,
+    LinearProgram,
+)
+
+
+class TestModelBuilding:
+    def test_variable_declaration(self):
+        lp = LinearProgram()
+        v = lp.add_variable("x", 0.0, 2.0, objective=3.0)
+        assert v.index == 0
+        assert lp.num_variables == 1
+        assert lp.variable("x").upper == 2.0
+
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_variable("x")
+
+    def test_empty_domain_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_constraint({"x": 1.0}, LESS_EQUAL, 1.0)
+
+    def test_unknown_sense(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_constraint({"x": 1.0}, "<", 1.0)
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_variable("y")
+        con = lp.add_constraint({"x": 1.0, "y": 0.0}, LESS_EQUAL, 1.0)
+        assert "y" not in con.coeffs
+
+    def test_unknown_variable_lookup(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.variable("missing")
+
+
+class TestConstraintEvaluation:
+    def test_evaluate_and_satisfied(self):
+        con = Constraint({"x": 2.0, "y": -1.0}, GREATER_EQUAL, 1.0)
+        assert con.evaluate({"x": 1.0, "y": 0.5}) == 1.5
+        assert con.satisfied({"x": 1.0, "y": 0.5})
+        assert not con.satisfied({"x": 0.0, "y": 0.0})
+
+    def test_violation_amounts(self):
+        le = Constraint({"x": 1.0}, LESS_EQUAL, 1.0)
+        ge = Constraint({"x": 1.0}, GREATER_EQUAL, 1.0)
+        eq = Constraint({"x": 1.0}, EQUAL, 1.0)
+        assert le.violation({"x": 3.0}) == 2.0
+        assert le.violation({"x": 0.0}) == 0.0
+        assert ge.violation({"x": 0.0}) == 1.0
+        assert eq.violation({"x": 1.5}) == 0.5
+
+    def test_missing_values_default_zero(self):
+        con = Constraint({"x": 1.0}, GREATER_EQUAL, 1.0)
+        assert not con.satisfied({})
+
+
+class TestSolving:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 0.0, None, objective=1.0)
+        lp.add_constraint({"x": 1.0}, GREATER_EQUAL, 3.0)
+        sol = lp.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(3.0)
+        assert sol.value("x") == pytest.approx(3.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 0.0, 1.0, objective=1.0)
+        lp.add_constraint({"x": 1.0}, GREATER_EQUAL, 2.0)
+        with pytest.raises(InfeasibleLP):
+            lp.solve()
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 0.0, None, objective=-1.0)
+        with pytest.raises(UnboundedLP):
+            lp.solve(backend="scipy")
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 0.0, None, objective=1.0)
+        lp.add_variable("y", 0.0, None, objective=2.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, EQUAL, 4.0)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(4.0)
+        assert sol.value("x") == pytest.approx(4.0)
+
+    def test_check_feasible(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 0.0, 1.0)
+        lp.add_constraint({"x": 1.0}, GREATER_EQUAL, 0.5)
+        assert lp.check_feasible({"x": 0.7})
+        assert not lp.check_feasible({"x": 0.3})
+        assert not lp.check_feasible({"x": 1.4})
+
+    def test_objective_value_helper(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=2.0)
+        lp.add_variable("y", objective=3.0)
+        assert lp.objective_value({"x": 1.0, "y": 2.0}) == 8.0
+
+    def test_unknown_backend(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.solve(backend="gurobi")
+
+    def test_empty_model(self):
+        lp = LinearProgram()
+        sol = lp.solve()
+        assert sol.objective == 0.0

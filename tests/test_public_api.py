@@ -1,0 +1,93 @@
+"""Public-API quality gates: exports resolve, are documented, and stable."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.distributed",
+    "repro.distsim",
+    "repro.graph",
+    "repro.lp",
+    "repro.spanners",
+    "repro.two_spanner",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} missing __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} listed but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    names = [n for n in module.__all__ if n != "__version__"]
+    assert names == sorted(names), f"{package}.__all__ is not sorted"
+    assert len(names) == len(set(names)), f"{package}.__all__ has duplicates"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_have_docstrings(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings_present(package):
+    module = importlib.import_module(package)
+    assert (module.__doc__ or "").strip(), f"{package} has no module docstring"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy_rooted():
+    """Every library exception derives from ReproError (catchability)."""
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if (
+            inspect.isclass(obj)
+            and issubclass(obj, Exception)
+            and obj.__module__ == "repro.errors"
+        ):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_seed_parameter_conventions():
+    """Randomized public entry points accept a ``seed`` argument."""
+    import repro
+    from repro.distributed import distributed_padded_decomposition
+    from repro.spanners import baswana_sen_spanner, thorup_zwick_spanner
+
+    for fn in (
+        repro.fault_tolerant_spanner,
+        repro.approximate_ft2_spanner,
+        repro.clpr_fault_tolerant_spanner,
+        baswana_sen_spanner,
+        thorup_zwick_spanner,
+        distributed_padded_decomposition,
+    ):
+        assert "seed" in inspect.signature(fn).parameters, fn.__name__

@@ -1,0 +1,102 @@
+"""Seeded-randomness helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    bernoulli,
+    derive_rng,
+    ensure_rng,
+    geometric,
+    sample_subset,
+    spawn_streams,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+
+class TestDerive:
+    def test_children_differ_by_index(self):
+        parent1 = ensure_rng(5)
+        parent2 = ensure_rng(5)
+        a = derive_rng(parent1, 0)
+        b = derive_rng(parent2, 1)
+        assert a.random() != b.random()
+
+    def test_deterministic_given_parent_state(self):
+        a = derive_rng(ensure_rng(7), 3)
+        b = derive_rng(ensure_rng(7), 3)
+        assert a.random() == b.random()
+
+    def test_spawn_streams(self):
+        streams = spawn_streams(9, 4)
+        assert len(streams) == 4
+        draws = [s.random() for s in streams]
+        assert len(set(draws)) == 4
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+
+class TestDistributions:
+    def test_geometric_support(self):
+        rng = ensure_rng(1)
+        draws = [geometric(rng, 0.5) for _ in range(200)]
+        assert all(d >= 1 for d in draws)
+        assert max(d for d in draws) > 1  # not degenerate
+
+    def test_geometric_p_one(self):
+        assert geometric(ensure_rng(1), 1.0) == 1
+
+    def test_geometric_invalid_p(self):
+        with pytest.raises(ValueError):
+            geometric(ensure_rng(1), 0.0)
+        with pytest.raises(ValueError):
+            geometric(ensure_rng(1), 1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_geometric_mean_close_to_inverse_p(self, seed):
+        rng = ensure_rng(seed)
+        p = 0.25
+        draws = [geometric(rng, p) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(1 / p, rel=0.15)
+
+    def test_bernoulli_extremes(self):
+        rng = ensure_rng(1)
+        assert not bernoulli(rng, 0.0)
+        assert bernoulli(rng, 1.0)
+        with pytest.raises(ValueError):
+            bernoulli(rng, -0.1)
+
+    def test_sample_subset(self):
+        rng = ensure_rng(4)
+        everything = sample_subset(rng, range(10), 1.0)
+        nothing = sample_subset(rng, range(10), 0.0)
+        assert everything == set(range(10))
+        assert nothing == set()

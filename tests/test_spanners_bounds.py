@@ -1,0 +1,64 @@
+"""Closed-form size-bound curves: sanity and the paper's headline comparison."""
+
+from __future__ import annotations
+
+import math
+
+from repro.spanners import (
+    baswana_sen_size_bound,
+    clpr_ft_size_bound,
+    conversion_iterations,
+    conversion_iterations_light,
+    conversion_size_bound,
+    greedy_size_bound,
+    moore_bound_edges,
+    thorup_zwick_size_bound,
+)
+
+
+def test_greedy_bound_k3_is_n_to_three_halves():
+    assert greedy_size_bound(100, 3) == 100 ** 1.5
+
+
+def test_bounds_monotone_in_n():
+    for fn in (greedy_size_bound,):
+        assert fn(200, 3) > fn(100, 3)
+    assert thorup_zwick_size_bound(200, 2) > thorup_zwick_size_bound(100, 2)
+    assert baswana_sen_size_bound(200, 2) > baswana_sen_size_bound(100, 2)
+
+
+def test_greedy_bound_decreases_with_k():
+    assert greedy_size_bound(1000, 5) < greedy_size_bound(1000, 3)
+
+
+def test_headline_comparison_poly_vs_exponential():
+    """The paper's point: CLPR09 is exponential in r, the conversion is not."""
+    n, k = 10_000, 2  # CLPR bound uses the (2k-1)-stretch parameterization
+    clpr = [clpr_ft_size_bound(n, k, r) for r in range(1, 10)]
+    ours = [conversion_size_bound(n, 2 * k - 1, r) for r in range(1, 10)]
+    # CLPR grows by a factor >= k per unit of r (it has k^{r+1}).
+    for a, b in zip(clpr, clpr[1:]):
+        assert b / a >= k
+    # The conversion grows polynomially: ratio r=9 vs r=1 is at most 9^2.
+    assert ours[-1] / ours[0] <= 81 + 1e-9
+    # And for large enough r CLPR exceeds the conversion bound.
+    assert clpr[-1] > conversion_size_bound(n, 2 * k - 1, 9)
+
+
+def test_iteration_schedules():
+    assert conversion_iterations(100, 2) > conversion_iterations_light(100, 2)
+    assert conversion_iterations(100, 1, constant=2.0) == 2 * math.ceil(
+        math.log(100)
+    ) or conversion_iterations(100, 1, constant=2.0) >= math.log(100)
+    assert conversion_iterations(1, 5) == 1  # degenerate n
+
+
+def test_moore_bound():
+    assert moore_bound_edges(100, 5) == 0.5 * (100 ** 1.5 + 100)
+    assert moore_bound_edges(0, 5) == math.inf
+
+
+def test_degenerate_inputs():
+    assert greedy_size_bound(0, 3) == 0.0
+    assert clpr_ft_size_bound(1, 2, 3) == 0.0
+    assert conversion_size_bound(1, 3, 2) == 0.0

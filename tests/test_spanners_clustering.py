@@ -1,0 +1,94 @@
+"""Thorup–Zwick and Baswana–Sen spanners: stretch validity and size."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidStretch
+from repro.graph import (
+    Graph,
+    complete_graph,
+    connected_gnp_graph,
+    gnp_random_graph,
+    is_subgraph,
+    path_graph,
+)
+from repro.spanners import (
+    baswana_sen_spanner,
+    baswana_sen_size_bound,
+    is_spanner,
+    thorup_zwick_size_bound,
+    thorup_zwick_spanner,
+)
+
+
+class TestThorupZwick:
+    def test_rejects_bad_t(self):
+        with pytest.raises(InvalidStretch):
+            thorup_zwick_spanner(path_graph(3), 0)
+
+    def test_t1_is_whole_graph_spanner(self):
+        # t=1 gives stretch 1, so distances must be preserved exactly.
+        g = complete_graph(6)
+        h = thorup_zwick_spanner(g, 1, seed=0)
+        assert is_spanner(h, g, 1)
+
+    def test_t2_three_spanner(self, random_connected):
+        h = thorup_zwick_spanner(random_connected, 2, seed=1)
+        assert is_subgraph(h, random_connected)
+        assert is_spanner(h, random_connected, 3)
+
+    def test_empty_graph(self):
+        h = thorup_zwick_spanner(Graph(), 2, seed=0)
+        assert h.num_vertices == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 3000), t=st.sampled_from([2, 3]))
+    def test_property_stretch_2t_minus_1(self, seed, t):
+        g = gnp_random_graph(18, 0.4, seed=seed, weight_range=(0.5, 2.0))
+        h = thorup_zwick_spanner(g, t, seed=seed + 1)
+        assert is_spanner(h, g, 2 * t - 1)
+
+    def test_size_reasonable_on_complete(self):
+        n = 36
+        g = complete_graph(n)
+        h = thorup_zwick_spanner(g, 2, seed=3)
+        # Expected size O(t n^{1+1/t}); allow generous constant.
+        assert h.num_edges <= 6 * thorup_zwick_size_bound(n, 2)
+
+
+class TestBaswanaSen:
+    def test_rejects_directed_and_bad_k(self, small_digraph):
+        with pytest.raises(InvalidStretch):
+            baswana_sen_spanner(small_digraph.to_undirected(), 0)
+        with pytest.raises(InvalidStretch):
+            baswana_sen_spanner(small_digraph, 2)
+
+    def test_k1_copies_graph(self):
+        g = complete_graph(5)
+        h = baswana_sen_spanner(g, 1, seed=0)
+        assert h.num_edges == g.num_edges
+
+    def test_k2_three_spanner(self, random_connected):
+        h = baswana_sen_spanner(random_connected, 2, seed=5)
+        assert is_subgraph(h, random_connected)
+        assert is_spanner(h, random_connected, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), k=st.sampled_from([2, 3, 4]))
+    def test_property_stretch_2k_minus_1(self, seed, k):
+        g = gnp_random_graph(20, 0.4, seed=seed, weight_range=(0.5, 3.0))
+        h = baswana_sen_spanner(g, k, seed=seed + 7)
+        assert is_spanner(h, g, 2 * k - 1)
+
+    def test_size_on_complete_graph(self):
+        n = 49
+        g = complete_graph(n)
+        h = baswana_sen_spanner(g, 2, seed=9)
+        assert h.num_edges <= 6 * baswana_sen_size_bound(n, 2)
+
+    def test_empty_graph(self):
+        h = baswana_sen_spanner(Graph(), 3, seed=1)
+        assert h.num_vertices == 0

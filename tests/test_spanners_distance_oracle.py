@@ -1,0 +1,90 @@
+"""Thorup–Zwick distance oracle: stretch, space, and query semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidStretch
+from repro.graph import (
+    Graph,
+    complete_graph,
+    connected_gnp_graph,
+    dijkstra,
+    gnp_random_graph,
+    path_graph,
+)
+from repro.spanners import build_distance_oracle, thorup_zwick_size_bound
+
+
+class TestConstruction:
+    def test_rejects_bad_t(self):
+        with pytest.raises(InvalidStretch):
+            build_distance_oracle(path_graph(3), 0)
+
+    def test_stretch_property(self):
+        assert build_distance_oracle(path_graph(4), 2, seed=0).stretch == 3
+        assert build_distance_oracle(path_graph(4), 3, seed=0).stretch == 5
+
+    def test_bunches_cover_all_vertices(self):
+        g = connected_gnp_graph(20, 0.3, seed=1)
+        oracle = build_distance_oracle(g, 2, seed=2)
+        for v in g.vertices():
+            assert oracle.bunch_size(v) >= 1
+
+    def test_space_accounting(self):
+        g = complete_graph(25)
+        oracle = build_distance_oracle(g, 2, seed=3)
+        assert oracle.total_size() == sum(
+            oracle.bunch_size(v) for v in g.vertices()
+        )
+        # expected O(t n^{1+1/t}); generous constant
+        assert oracle.total_size() <= 8 * thorup_zwick_size_bound(25, 2)
+
+
+class TestQueries:
+    def test_identity_query(self):
+        g = path_graph(5)
+        oracle = build_distance_oracle(g, 2, seed=4)
+        assert oracle.query(2, 2) == 0.0
+
+    def test_exact_on_t1(self):
+        # t = 1: bunches store exact distances to every vertex.
+        g = connected_gnp_graph(12, 0.4, seed=5, weight_range=(0.5, 2.0))
+        oracle = build_distance_oracle(g, 1, seed=6)
+        exact = {v: dijkstra(g, v) for v in g.vertices()}
+        for u in g.vertices():
+            for v in g.vertices():
+                assert oracle.query(u, v) == pytest.approx(exact[u][v])
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2000), t=st.sampled_from([2, 3]))
+    def test_property_stretch_bound(self, seed, t):
+        g = connected_gnp_graph(16, 0.35, seed=seed, weight_range=(0.5, 3.0))
+        oracle = build_distance_oracle(g, t, seed=seed + 1)
+        for u in list(g.vertices())[:5]:
+            exact = dijkstra(g, u)
+            for v in g.vertices():
+                if u == v:
+                    continue
+                estimate = oracle.query(u, v)
+                assert estimate >= exact[v] - 1e-9  # never underestimates
+                assert estimate <= (2 * t - 1) * exact[v] + 1e-9
+
+    def test_disconnected_returns_inf(self):
+        g = path_graph(3)
+        g.add_edge(10, 11)
+        oracle = build_distance_oracle(g, 2, seed=7)
+        assert oracle.query(0, 10) == math.inf
+
+    def test_deterministic_under_seed(self):
+        g = connected_gnp_graph(15, 0.4, seed=8)
+        a = build_distance_oracle(g, 2, seed=9)
+        b = build_distance_oracle(g, 2, seed=9)
+        assert a.total_size() == b.total_size()
+        for u in g.vertices():
+            for v in list(g.vertices())[:5]:
+                assert a.query(u, v) == b.query(u, v)

@@ -1,0 +1,65 @@
+"""Spanner verification helpers (is_spanner / stretch / violations)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph import Graph, complete_graph, path_graph
+from repro.spanners import is_spanner, max_edge_stretch, violating_edges
+
+
+def test_whole_graph_is_1_spanner():
+    g = complete_graph(5)
+    assert is_spanner(g, g, 1)
+    assert max_edge_stretch(g, g) == 1.0
+
+
+def test_missing_edge_raises_stretch():
+    g = complete_graph(4)
+    h = g.copy()
+    h.remove_edge(0, 1)
+    # 0-1 now has distance 2 via any midpoint -> stretch 2.
+    assert max_edge_stretch(h, g) == 2.0
+    assert is_spanner(h, g, 2)
+    assert not is_spanner(h, g, 1.5)
+
+
+def test_disconnection_is_infinite_stretch():
+    g = path_graph(3)
+    h = g.edge_subgraph([(0, 1)])
+    assert max_edge_stretch(h, g) == math.inf
+    assert not is_spanner(h, g, 100)
+
+
+def test_violating_edges_reports_exact_set():
+    g = complete_graph(4)
+    h = g.copy()
+    h.remove_edge(0, 1)
+    bad = violating_edges(h, g, 1.0)
+    assert [(min(u, v), max(u, v)) for u, v, _ in bad] == [(0, 1)]
+    assert violating_edges(h, g, 2.0) == []
+
+
+def test_missing_vertex_fails():
+    g = path_graph(3)
+    h = Graph()
+    h.add_edge(0, 1)
+    assert not is_spanner(h, g, 3)
+
+
+def test_edgeless_host():
+    g = Graph()
+    g.add_vertices(range(3))
+    h = Graph()
+    h.add_vertices(range(3))
+    assert is_spanner(h, g, 1)
+    assert max_edge_stretch(h, g) == 0.0
+
+
+def test_weighted_stretch_uses_ratio():
+    g = Graph()
+    g.add_edge(0, 1, 4.0)
+    g.add_edge(0, 2, 3.0)
+    g.add_edge(2, 1, 3.0)
+    h = g.edge_subgraph([(0, 2), (2, 1)])
+    assert max_edge_stretch(h, g) == (3.0 + 3.0) / 4.0

@@ -1,0 +1,72 @@
+"""Theorem 3.3 end-to-end approximation and the DK10 baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import is_ft_2spanner
+from repro.graph import complete_digraph, gnp_random_digraph, knapsack_gap_gadget
+from repro.two_spanner import (
+    approximate_ft2_spanner,
+    dk10_baseline,
+    exact_minimum_ft2_spanner,
+    solve_ft2_lp,
+)
+
+
+class TestTheorem33:
+    def test_valid_spanner_and_certificate(self):
+        g = gnp_random_digraph(12, 0.5, seed=1)
+        result = approximate_ft2_spanner(g, 2, seed=2)
+        assert is_ft_2spanner(result.spanner, g, 2)
+        assert result.lp_objective > 0
+        assert result.cost >= result.lp_objective - 1e-6
+        assert result.ratio_vs_lp >= 1.0 - 1e-9
+
+    def test_ratio_bounded_by_alpha_regime(self):
+        # cost <= O(alpha) * LP in expectation; assert a generous multiple.
+        g = gnp_random_digraph(12, 0.5, seed=3)
+        result = approximate_ft2_spanner(g, 1, seed=4)
+        assert result.ratio_vs_lp <= 6 * result.alpha
+
+    def test_with_costs(self):
+        g = gnp_random_digraph(10, 0.6, seed=5, cost_range=(1.0, 10.0))
+        result = approximate_ft2_spanner(g, 1, seed=6)
+        assert is_ft_2spanner(result.spanner, g, 1)
+
+    def test_near_optimal_on_gadget(self):
+        g = knapsack_gap_gadget(2, 30.0)
+        result = approximate_ft2_spanner(g, 2, seed=7)
+        exact = exact_minimum_ft2_spanner(g, 2)
+        assert result.cost == pytest.approx(exact.cost)
+
+    def test_r0_still_works(self):
+        g = complete_digraph(5)
+        result = approximate_ft2_spanner(g, 0, seed=8)
+        assert is_ft_2spanner(result.spanner, g, 0)
+
+
+class TestDK10Baseline:
+    def test_baseline_valid(self):
+        g = gnp_random_digraph(10, 0.5, seed=9)
+        result = dk10_baseline(g, 2, seed=10)
+        assert is_ft_2spanner(result.spanner, g, 2)
+
+    def test_baseline_alpha_grows_with_r(self):
+        g = gnp_random_digraph(10, 0.5, seed=11)
+        a1 = dk10_baseline(g, 1, seed=12).alpha
+        a3 = dk10_baseline(g, 3, seed=12).alpha
+        assert a3 == pytest.approx(3 * a1)
+
+    def test_baseline_with_old_lp(self):
+        g = gnp_random_digraph(8, 0.6, seed=13)
+        result = dk10_baseline(g, 1, seed=14, use_old_lp=True)
+        assert is_ft_2spanner(result.spanner, g, 1)
+
+    def test_new_alpha_independent_of_r(self):
+        g = gnp_random_digraph(10, 0.5, seed=15)
+        a1 = approximate_ft2_spanner(g, 1, seed=16).alpha
+        a3 = approximate_ft2_spanner(g, 3, seed=16).alpha
+        assert a1 == a3  # the paper's headline: alpha = C log n for all r

@@ -1,0 +1,88 @@
+"""Density-greedy combinatorial baseline for the 2-spanner problem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import is_ft_2spanner
+from repro.errors import FaultToleranceError
+from repro.graph import (
+    DiGraph,
+    complete_digraph,
+    complete_graph,
+    gnp_random_digraph,
+    gnp_random_graph,
+    knapsack_gap_gadget,
+)
+from repro.two_spanner import (
+    exact_minimum_ft2_spanner,
+    greedy_ft2_spanner,
+    solve_ft2_lp,
+)
+
+
+class TestGreedyValidity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3000), r=st.integers(0, 2))
+    def test_always_valid_on_random_digraphs(self, seed, r):
+        g = gnp_random_digraph(9, 0.5, seed=seed)
+        result = greedy_ft2_spanner(g, r)
+        assert is_ft_2spanner(result.spanner, g, r)
+
+    def test_valid_on_undirected(self):
+        g = gnp_random_graph(12, 0.5, seed=4)
+        result = greedy_ft2_spanner(g, 1)
+        assert is_ft_2spanner(result.spanner, g, 1)
+
+    def test_rejects_negative_r(self):
+        with pytest.raises(FaultToleranceError):
+            greedy_ft2_spanner(complete_digraph(3), -1)
+
+    def test_empty_graph(self):
+        g = DiGraph()
+        g.add_vertices(range(3))
+        result = greedy_ft2_spanner(g, 2)
+        assert result.num_edges == 0
+        assert result.moves == 0
+
+
+class TestGreedyQuality:
+    def test_gadget_is_solved_optimally(self):
+        for r in (1, 2, 3):
+            g = knapsack_gap_gadget(r, 40.0)
+            greedy = greedy_ft2_spanner(g, r)
+            exact = exact_minimum_ft2_spanner(g, r)
+            assert greedy.cost == pytest.approx(exact.cost)
+
+    def test_within_log_factor_of_lp(self):
+        import math
+
+        g = complete_digraph(8)
+        for r in (0, 1, 2):
+            greedy = greedy_ft2_spanner(g, r)
+            lp = solve_ft2_lp(g, r)
+            assert greedy.cost <= 4 * math.log(8) * lp.objective
+
+    def test_exploits_cost_structure(self):
+        # Direct edge much cheaper than 2r unit arcs -> greedy keeps it.
+        g = DiGraph()
+        g.add_edge("u", "v", 0.5)
+        for i in range(3):
+            g.add_edge("u", ("w", i), 1.0)
+            g.add_edge(("w", i), "v", 1.0)
+        result = greedy_ft2_spanner(g, 0)
+        assert result.spanner.has_edge("u", "v")
+
+    def test_prefers_paths_when_edge_expensive_r0(self):
+        g = knapsack_gap_gadget(1, 50.0)
+        result = greedy_ft2_spanner(g, 0)
+        # r=0: one two-path suffices; expensive edge should be skipped.
+        assert not result.spanner.has_edge("u", "v")
+        assert result.cost == pytest.approx(2.0)
+
+    def test_moves_accounting(self):
+        g = complete_digraph(5)
+        result = greedy_ft2_spanner(g, 0)
+        assert 1 <= result.moves <= g.num_edges

@@ -1,0 +1,75 @@
+"""Theorem 3.4: Moser–Tardos O(log Δ) rounding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_ft_2spanner
+from repro.errors import RoundingError
+from repro.graph import complete_digraph, gnp_random_digraph, random_regular_graph
+from repro.two_spanner import moser_tardos_rounding, solve_ft2_lp
+
+
+def test_valid_output_directed():
+    g = gnp_random_digraph(12, 0.5, seed=1)
+    lp = solve_ft2_lp(g, 1)
+    result = moser_tardos_rounding(g, lp.x_values(), 1, seed=2)
+    assert is_ft_2spanner(result.spanner, g, 1)
+    assert result.resamples >= 0
+    assert result.alpha > 0
+
+
+def test_valid_output_bounded_degree_undirected():
+    g = random_regular_graph(16, 5, seed=3)
+    lp = solve_ft2_lp(g, 1)
+    result = moser_tardos_rounding(g, lp.x_values(), 1, seed=4)
+    assert is_ft_2spanner(result.spanner, g, 1)
+
+
+def test_alpha_defaults_to_log_delta():
+    g = complete_digraph(6)  # delta = 5
+    lp = solve_ft2_lp(g, 1)
+    result = moser_tardos_rounding(g, lp.x_values(), 1, seed=5, alpha_constant=3.0)
+    import math
+
+    assert result.alpha == pytest.approx(3.0 * math.log(5))
+
+
+def test_explicit_alpha_respected():
+    g = complete_digraph(5)
+    lp = solve_ft2_lp(g, 1)
+    result = moser_tardos_rounding(g, lp.x_values(), 1, alpha=50.0, seed=6)
+    assert result.alpha == 50.0
+    # a huge alpha buys everything immediately with zero resamples
+    assert result.resamples == 0
+    assert result.num_edges == g.num_edges
+
+
+def test_resample_cap_raises():
+    # Zero alpha cannot satisfy anything; the resampler must give up.
+    g = complete_digraph(4)
+    xs = {(u, v): 0.0 for u, v, _w in g.edges()}
+    with pytest.raises(RoundingError):
+        moser_tardos_rounding(g, xs, 1, alpha=0.0, max_resamples=10, seed=7)
+
+
+def test_cost_events_can_be_disabled():
+    g = gnp_random_digraph(10, 0.5, seed=8)
+    lp = solve_ft2_lp(g, 1)
+    with_cost = moser_tardos_rounding(
+        g, lp.x_values(), 1, seed=9, include_cost_events=True
+    )
+    without = moser_tardos_rounding(
+        g, lp.x_values(), 1, seed=9, include_cost_events=False
+    )
+    assert is_ft_2spanner(with_cost.spanner, g, 1)
+    assert is_ft_2spanner(without.spanner, g, 1)
+
+
+def test_cost_tracks_lp_mass():
+    # With cost events enabled, |E'| <= 8 alpha sum_e x_e (paper's bound).
+    g = gnp_random_digraph(12, 0.5, seed=10)
+    lp = solve_ft2_lp(g, 1)
+    result = moser_tardos_rounding(g, lp.x_values(), 1, seed=11)
+    lp_mass = sum(lp.x_values().values())
+    assert result.num_edges <= 8 * result.alpha * lp_mass + 1e-9

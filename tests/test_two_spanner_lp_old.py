@@ -1,0 +1,72 @@
+"""The [DK10] flow LP (2): structure and the Section 3.1 gap on K_n."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import LPError
+from repro.graph import complete_digraph, gnp_random_digraph
+from repro.two_spanner import (
+    complete_graph_fractional_value,
+    complete_graph_integral_lower_bound,
+    solve_ft2_lp,
+    solve_old_lp,
+)
+
+
+def test_r0_old_lp_equals_plain_relaxation_value():
+    # With r=0 both formulations are the plain fractional 2-spanner.
+    g = complete_digraph(5)
+    old = solve_old_lp(g, 0)
+    assert old.objective <= 5 * 4 / 3 + 1e-6
+
+
+def test_x_values_extraction():
+    g = complete_digraph(4)
+    old = solve_old_lp(g, 1)
+    xs = old.x_values()
+    assert set(xs) == {(u, v) for u, v, _w in g.edges()}
+
+
+def test_lp2_value_on_complete_graph_is_low():
+    """Section 3.1: LP (2) pays only ~n²/(n-r-2) on K_n."""
+    n, r = 7, 2
+    old = solve_old_lp(complete_digraph(n), r)
+    assert old.objective <= complete_graph_fractional_value(n, r) + 1e-6
+    # while any integral solution needs ~ (r+1) n arcs:
+    assert complete_graph_integral_lower_bound(n, r) / old.objective >= 1.9
+
+
+def test_gap_grows_with_r():
+    n = 8
+    gaps = []
+    for r in (0, 1, 2):
+        old = solve_old_lp(complete_digraph(n), r)
+        gaps.append(complete_graph_integral_lower_bound(n, r) / old.objective)
+    assert gaps[0] < gaps[1] < gaps[2]
+
+
+def test_new_lp_is_stronger_on_complete_graph():
+    """LP (4) >= LP (2) on K_n — the whole point of Section 3.2."""
+    n, r = 7, 2
+    old = solve_old_lp(complete_digraph(n), r).objective
+    new = solve_ft2_lp(complete_digraph(n), r).objective
+    assert new >= old - 1e-6
+    # and the new LP is within a constant of the integral bound:
+    assert complete_graph_integral_lower_bound(n, r) / new <= 2.0
+
+
+def test_fault_set_guard():
+    with pytest.raises(LPError):
+        solve_old_lp(complete_digraph(20), 4, max_fault_sets=100)
+
+
+def test_rejects_negative_r():
+    with pytest.raises(LPError):
+        solve_old_lp(complete_digraph(3), -1)
+
+
+def test_fractional_value_degenerate():
+    assert complete_graph_fractional_value(4, 3) == math.inf

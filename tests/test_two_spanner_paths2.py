@@ -1,0 +1,61 @@
+"""Length-2 path enumeration."""
+
+from __future__ import annotations
+
+from repro.graph import DiGraph, complete_digraph, complete_graph, knapsack_gap_gadget
+from repro.two_spanner import (
+    all_two_paths,
+    path_edges,
+    surviving_midpoints,
+    two_path_midpoints,
+)
+
+
+def test_midpoints_directed():
+    g = DiGraph()
+    g.add_edge("u", "z"); g.add_edge("z", "v")
+    g.add_edge("v", "w")  # irrelevant
+    assert two_path_midpoints(g, "u", "v") == ["z"]
+    assert two_path_midpoints(g, "v", "u") == []
+
+
+def test_midpoints_exclude_endpoints():
+    g = DiGraph()
+    g.add_edge("u", "v"); g.add_edge("v", "u")
+    g.add_edge("u", "z"); g.add_edge("z", "v")
+    # "v" is a successor of u and predecessor of v? ensure endpoints dropped
+    mids = two_path_midpoints(g, "u", "v")
+    assert "u" not in mids and "v" not in mids
+    assert mids == ["z"]
+
+
+def test_midpoints_complete_digraph():
+    g = complete_digraph(6)
+    assert len(two_path_midpoints(g, 0, 1)) == 4
+
+
+def test_midpoints_undirected():
+    g = complete_graph(5)
+    assert len(two_path_midpoints(g, 0, 1)) == 3
+
+
+def test_midpoints_missing_vertex():
+    g = complete_graph(3)
+    assert two_path_midpoints(g, 0, 99) == []
+
+
+def test_all_two_paths_covers_every_edge():
+    g = knapsack_gap_gadget(3)
+    paths = all_two_paths(g)
+    assert set(paths) == {(u, v) for u, v, _w in g.edges()}
+    assert len(paths[("u", "v")]) == 3
+    assert paths[("u", ("w", 0))] == []
+
+
+def test_path_edges():
+    assert path_edges("u", "z", "v") == [("u", "z"), ("z", "v")]
+
+
+def test_surviving_midpoints():
+    assert surviving_midpoints(["a", "b", "c"], {"b"}) == ["a", "c"]
+    assert surviving_midpoints([], {"x"}) == []

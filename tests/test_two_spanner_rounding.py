@@ -1,0 +1,124 @@
+"""Algorithm 1 threshold rounding and its Las-Vegas driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import is_ft_2spanner
+from repro.errors import RoundingError
+from repro.graph import complete_digraph, gnp_random_digraph, knapsack_gap_gadget
+from repro.rng import ensure_rng
+from repro.two_spanner import (
+    alpha_log_delta,
+    alpha_log_n,
+    alpha_r_log_n,
+    draw_thresholds,
+    round_once,
+    round_until_valid,
+    select_edges,
+    solve_ft2_lp,
+)
+
+
+class TestAlphas:
+    def test_alpha_log_n(self):
+        assert alpha_log_n(100, constant=2.0) == pytest.approx(2 * math.log(100))
+
+    def test_alpha_r_log_n_scales_with_r(self):
+        assert alpha_r_log_n(100, 4) == pytest.approx(4 * alpha_r_log_n(100, 1))
+
+    def test_alpha_log_delta(self):
+        assert alpha_log_delta(8, constant=1.0) == pytest.approx(math.log(8))
+
+    def test_small_arguments_clamped(self):
+        assert alpha_log_n(1) > 0
+        assert alpha_log_delta(1) > 0
+
+
+class TestSelectionRule:
+    def test_x_one_always_selected(self):
+        g = complete_digraph(3)
+        xs = {(u, v): 1.0 for u, v, _w in g.edges()}
+        thresholds = {v: 1.0 for v in g.vertices()}
+        out = select_edges(g, xs, thresholds, alpha=1.0)
+        assert out.num_edges == g.num_edges
+
+    def test_x_zero_never_selected(self):
+        g = complete_digraph(3)
+        xs = {(u, v): 0.0 for u, v, _w in g.edges()}
+        thresholds = {v: 0.5 for v in g.vertices()}
+        out = select_edges(g, xs, thresholds, alpha=100.0)
+        assert out.num_edges == 0
+
+    def test_min_endpoint_rule(self):
+        g = complete_digraph(2)
+        xs = {(0, 1): 0.5, (1, 0): 0.5}
+        thresholds = {0: 0.9, 1: 0.4}
+        out = select_edges(g, xs, thresholds, alpha=1.0)
+        # min(T0, T1) = 0.4 <= 0.5 -> both arcs selected
+        assert out.num_edges == 2
+
+    def test_monotone_in_alpha(self):
+        g = gnp_random_digraph(8, 0.5, seed=1)
+        xs = {(u, v): 0.3 for u, v, _w in g.edges()}
+        thresholds = draw_thresholds(g, ensure_rng(2))
+        small = select_edges(g, xs, thresholds, alpha=0.5)
+        large = select_edges(g, xs, thresholds, alpha=2.0)
+        assert small.num_edges <= large.num_edges
+        for u, v, _w in small.edges():
+            assert large.has_edge(u, v)
+
+    def test_round_once_deterministic_under_seed(self):
+        g = gnp_random_digraph(8, 0.5, seed=3)
+        xs = {(u, v): 0.4 for u, v, _w in g.edges()}
+        a = round_once(g, xs, 1.0, seed=7)
+        b = round_once(g, xs, 1.0, seed=7)
+        assert sorted(map(tuple, a.edges())) == sorted(map(tuple, b.edges()))
+
+
+class TestLasVegasDriver:
+    def test_valid_output_from_lp(self):
+        g = gnp_random_digraph(10, 0.5, seed=5)
+        lp = solve_ft2_lp(g, 1)
+        result = round_until_valid(
+            g, lp.x_values(), 1, alpha_log_n(10), seed=6
+        )
+        assert is_ft_2spanner(result.spanner, g, 1)
+        assert result.attempts >= 1
+
+    def test_repair_path_guarantees_validity(self):
+        # alpha = 0 selects nothing; repair must buy every host edge.
+        g = knapsack_gap_gadget(2, 5.0)
+        xs = {(u, v): 0.0 for u, v, _w in g.edges()}
+        result = round_until_valid(g, xs, 2, alpha=0.0, max_attempts=2, seed=1)
+        assert is_ft_2spanner(result.spanner, g, 2)
+        assert len(result.repaired_edges) == g.num_edges
+
+    def test_no_repair_raises(self):
+        g = knapsack_gap_gadget(2, 5.0)
+        xs = {(u, v): 0.0 for u, v, _w in g.edges()}
+        with pytest.raises(RoundingError):
+            round_until_valid(
+                g, xs, 2, alpha=0.0, max_attempts=2, seed=1, repair=False
+            )
+
+    def test_cost_accounting(self):
+        g = knapsack_gap_gadget(1, 9.0)
+        xs = {(u, v): 1.0 for u, v, _w in g.edges()}
+        result = round_until_valid(g, xs, 1, alpha=1.0, seed=2)
+        assert result.cost == pytest.approx(g.total_weight())
+        assert result.num_edges == g.num_edges
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_always_valid(self, seed):
+        g = gnp_random_digraph(8, 0.6, seed=seed)
+        lp = solve_ft2_lp(g, 1)
+        result = round_until_valid(
+            g, lp.x_values(), 1, alpha_log_n(8), seed=seed + 1
+        )
+        assert is_ft_2spanner(result.spanner, g, 1)
