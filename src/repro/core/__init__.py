@@ -26,6 +26,7 @@ from .conversion import (
     survival_probability,
 )
 from .verify import (
+    IncrementalFT2Verifier,
     count_fault_sets,
     count_two_paths,
     edge_satisfied,
@@ -42,6 +43,7 @@ __all__ = [
     "CLPRResult",
     "ConversionResult",
     "ConversionStats",
+    "IncrementalFT2Verifier",
     "clpr_fault_tolerant_spanner",
     "count_fault_sets",
     "count_two_paths",

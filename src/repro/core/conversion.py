@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Callable, Hashable, List, Optional, Sequence, Set
 
 from ..errors import FaultToleranceError, InvalidStretch
+from ..graph.csr import snapshot
 from ..graph.graph import BaseGraph
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.bounds import conversion_iterations, conversion_iterations_light
-from ..spanners.greedy import greedy_spanner
+from ..spanners.greedy import IndexedGreedyKernel, greedy_spanner
 
 Vertex = Hashable
 
@@ -101,6 +102,89 @@ def resolve_iterations(
     if schedule == "light":
         return conversion_iterations_light(n, r, constant)
     raise FaultToleranceError(f"unknown schedule {schedule!r}; use 'theorem' or 'light'")
+
+
+class _OversamplingEngine:
+    """Shared fast path for the Theorem 2.1 iteration body.
+
+    Built once per conversion: snapshots the host into CSR arrays, sorts
+    the edge ids by weight once (stable, so ties keep ``edges()`` order),
+    and reuses one :class:`IndexedGreedyKernel` across all ``α``
+    iterations. Each iteration reduces to (a) one vectorized O(m) pass
+    filtering the pre-sorted id list through the survivor bitmask — no
+    ``induced_subgraph`` dict is ever built — and (b) a greedy kernel run
+    over the surviving ids. The union spanner is a plain set of integer
+    edge ids until :meth:`union_graph` materializes it.
+    """
+
+    def __init__(self, graph: BaseGraph, k: float):
+        self.graph = graph
+        self.k = k
+        self.csr = snapshot(graph)
+        edge_w = self.csr.edge_w
+        self.sorted_ids = sorted(range(len(edge_w)), key=edge_w.__getitem__)
+        try:  # keep the id list as int64 once; np.asarray is then a no-op per iteration
+            import numpy as np
+
+            self.sorted_ids = np.asarray(self.sorted_ids, dtype=np.int64)
+        except ImportError:  # pragma: no cover
+            pass
+        self.kernel = IndexedGreedyKernel(self.csr.num_vertices, self.csr.directed)
+        self.union_ids: Set[int] = set()
+
+    def iterate(self, alive: Sequence) -> List[int]:
+        """Run one oversampling iteration under survivor mask ``alive``.
+
+        Returns the iteration's chosen edge ids (the base spanner of
+        ``G \\ J``); they are also merged into :attr:`union_ids`.
+        """
+        csr = self.csr
+        surviving = csr.filter_edge_ids(self.sorted_ids, alive)
+        chosen = self.kernel.run_edge_ids(
+            surviving, csr.edge_u, csr.edge_v, csr.edge_w, self.k
+        )
+        self.union_ids.update(chosen)
+        return chosen
+
+    def step(self, it_rng, p_survive: float, stats: "ConversionStats") -> List[int]:
+        """One full Theorem 2.1 iteration: draw survivors, build, account.
+
+        Consumes the RNG stream exactly like the dict pipeline (one draw
+        per vertex, in host vertex order). Shared by both conversion
+        drivers so their iteration bodies cannot drift apart.
+        """
+        alive = [it_rng.random() < p_survive for _ in self.csr.verts]
+        stats.survivor_sizes.append(sum(alive))
+        chosen = self.iterate(alive)
+        stats.iteration_edge_counts.append(len(chosen))
+        stats.union_edge_counts.append(len(self.union_ids))
+        return chosen
+
+    def add_new_edges_to(self, union: BaseGraph, chosen, materialized: Set[int]) -> None:
+        """Incrementally materialize ``chosen`` ids into ``union``.
+
+        Skips ids already added (``materialized`` is the caller-held
+        record), so the adaptive driver can keep one persistent union
+        graph instead of rebuilding it every validity check.
+        """
+        csr = self.csr
+        verts = csr.verts
+        for e in chosen:
+            if e not in materialized:
+                materialized.add(e)
+                union.add_edge(
+                    verts[csr.edge_u[e]], verts[csr.edge_v[e]], csr.edge_w[e]
+                )
+
+    def union_graph(self) -> BaseGraph:
+        """Materialize the union spanner as a dict graph (all host vertices)."""
+        csr = self.csr
+        union = type(self.graph)()
+        union.add_vertices(csr.verts)
+        verts = csr.verts
+        for e in sorted(self.union_ids):
+            union.add_edge(verts[csr.edge_u[e]], verts[csr.edge_v[e]], csr.edge_w[e])
+        return union
 
 
 def fault_tolerant_spanner(
@@ -181,8 +265,16 @@ def fault_tolerant_spanner(
     stats = ConversionStats(iterations=alpha)
     vertices = list(graph.vertices())
 
+    # The default greedy base runs on the CSR fast path: one host
+    # snapshot, per-iteration survivor bitmasks, integer edge-id union.
+    # Custom base algorithms still get the dict pipeline below.
+    engine = _OversamplingEngine(graph, k) if base_algorithm is greedy_spanner else None
+
     for i in range(alpha):
         it_rng = derive_rng(rng, i)
+        if engine is not None:
+            engine.step(it_rng, p_survive, stats)
+            continue
         survivors = [v for v in vertices if it_rng.random() < p_survive]
         sub = graph.induced_subgraph(survivors)
         stats.survivor_sizes.append(sub.num_vertices)
@@ -192,6 +284,8 @@ def fault_tolerant_spanner(
             union.add_edge(u, v, w)
         stats.union_edge_counts.append(union.num_edges)
 
+    if engine is not None:
+        union = engine.union_graph()
     return ConversionResult(spanner=union, stats=stats)
 
 
@@ -219,10 +313,17 @@ def fault_tolerant_spanner_until_valid(
     rng = ensure_rng(seed)
     stats = ConversionStats(iterations=0)
     vertices = list(graph.vertices())
+    engine = _OversamplingEngine(graph, k) if base_algorithm is greedy_spanner else None
+    materialized: Set[int] = set()
     done = 0
     while done < max_iterations:
         for _ in range(batch):
             it_rng = derive_rng(rng, done)
+            if engine is not None:
+                chosen = engine.step(it_rng, p_survive, stats)
+                engine.add_new_edges_to(union, chosen, materialized)
+                done += 1
+                continue
             survivors = [v for v in vertices if it_rng.random() < p_survive]
             sub = graph.induced_subgraph(survivors)
             stats.survivor_sizes.append(sub.num_vertices)

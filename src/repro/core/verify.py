@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import FaultToleranceError
 from ..graph.graph import BaseGraph, DiGraph, Graph
@@ -169,10 +169,30 @@ def edge_satisfied(spanner: BaseGraph, u: Vertex, v: Vertex, r: int) -> bool:
 def unsatisfied_edges(
     spanner: BaseGraph, graph: BaseGraph, r: int
 ) -> List[Tuple[Vertex, Vertex]]:
-    """Host edges violating the Lemma 3.1 condition in ``spanner``."""
-    return [
-        (u, v) for u, v, _w in graph.edges() if not edge_satisfied(spanner, u, v, r)
-    ]
+    """Host edges violating the Lemma 3.1 condition in ``spanner``.
+
+    The spanner's neighbourhood sets are materialized once up front, so
+    the per-edge two-path count is a single C-level set intersection
+    instead of rebuilding both endpoint sets for every host edge.
+    """
+    need = r + 1
+    if spanner.directed:
+        outs = {v: set(spanner.successors(v)) for v in spanner.vertices()}
+        ins = {v: set(spanner.predecessors(v)) for v in spanner.vertices()}
+    else:
+        outs = ins = {v: set(spanner.neighbors(v)) for v in spanner.vertices()}
+    empty: set = set()
+    bad: List[Tuple[Vertex, Vertex]] = []
+    for u, v, _w in graph.edges():
+        out_u = outs.get(u, empty)
+        if v in out_u:
+            continue  # edge kept
+        mids = out_u & ins.get(v, empty)
+        mids.discard(u)
+        mids.discard(v)
+        if len(mids) < need:
+            bad.append((u, v))
+    return bad
 
 
 def is_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
@@ -185,3 +205,98 @@ def is_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
     return not unsatisfied_edges(spanner, graph, r)
+
+
+class IncrementalFT2Verifier:
+    """Incremental Lemma 3.1 state for spanners grown edge by edge.
+
+    The Section 3 rounding/repair loops repeatedly ask "is the current
+    candidate an r-fault-tolerant 2-spanner, and which host edges still
+    violate?" while adding edges one at a time. Recomputing
+    :func:`unsatisfied_edges` costs O(m · Δ) per call; this structure
+    maintains, for every host edge, its kept-flag and its count of
+    length-2 spanner paths, and updates them in O(Δ) per
+    :meth:`add_edge` — adding spanner edge ``(u, v)`` can only create
+    two-paths that use it as one of their two hops, so scanning the
+    current neighbourhoods of ``u`` and ``v`` finds every affected pair.
+
+    ``unsatisfied()`` returns violations in host ``edges()`` order,
+    matching :func:`unsatisfied_edges` on the equivalent static spanner.
+    """
+
+    def __init__(self, graph: BaseGraph, r: int, spanner: Optional[BaseGraph] = None):
+        if r < 0:
+            raise FaultToleranceError(f"r must be nonnegative, got {r}")
+        self.graph = graph
+        self.r = r
+        self._need = r + 1
+        self._directed = graph.directed
+        self._host_edges: List[Tuple[Vertex, Vertex]] = [
+            (u, v) for u, v, _w in graph.edges()
+        ]
+        # Ordered endpoint pair -> position in the host edge list.
+        self._pos: Dict[Tuple[Vertex, Vertex], int] = {}
+        for pos, (u, v) in enumerate(self._host_edges):
+            self._pos[(u, v)] = pos
+            if not self._directed:
+                self._pos[(v, u)] = pos
+        self._counts = [0] * len(self._host_edges)
+        self._kept = [False] * len(self._host_edges)
+        self._unsat = set(range(len(self._host_edges))) if self._need > 0 else set()
+        self._out: Dict[Vertex, set] = {v: set() for v in graph.vertices()}
+        self._in: Dict[Vertex, set] = (
+            {v: set() for v in graph.vertices()} if self._directed else self._out
+        )
+        if spanner is not None:
+            for u, v, _w in spanner.edges():
+                self.add_edge(u, v)
+
+    def _bump(self, pos: Optional[int]) -> None:
+        if pos is None:
+            return
+        counts = self._counts
+        counts[pos] += 1
+        if counts[pos] >= self._need:
+            self._unsat.discard(pos)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add spanner edge/arc ``(u, v)``; no-op if already present.
+
+        Endpoints must be host vertices (a spanner never adds vertices).
+        """
+        out_u = self._out[u]
+        if v in out_u:
+            return
+        pos = self._pos.get((u, v))
+        if pos is not None:
+            self._kept[pos] = True
+            self._unsat.discard(pos)
+        get = self._pos.get
+        # New two-paths u -> v -> x (v is the midpoint for host pair (u, x)).
+        for x in self._out[v]:
+            self._bump(get((u, x)))
+        # New two-paths x -> u -> v (u is the midpoint for host pair (x, v)).
+        for x in self._in[u]:
+            self._bump(get((x, v)))
+        out_u.add(v)
+        self._in[v].add(u)
+
+    def count_two_paths(self, u: Vertex, v: Vertex) -> int:
+        """Current number of length-2 paths for host edge ``(u, v)``."""
+        pos = self._pos.get((u, v))
+        if pos is None:
+            raise FaultToleranceError(f"({u!r}, {v!r}) is not a host edge")
+        return self._counts[pos]
+
+    @property
+    def num_unsatisfied(self) -> int:
+        return len(self._unsat)
+
+    def is_valid(self) -> bool:
+        """True iff the accumulated spanner passes Lemma 3.1 for ``r``."""
+        return not self._unsat
+
+    def unsatisfied(self) -> List[Tuple[Vertex, Vertex]]:
+        """Violating host edges, in host ``edges()`` order."""
+        host = self._host_edges
+        return [host[pos] for pos in sorted(self._unsat)]

@@ -1,0 +1,536 @@
+"""CSR fast-path kernel layer.
+
+The dict-of-dict :class:`~repro.graph.graph.Graph` is the friendly public
+substrate — hashable vertices, O(1) edge updates — but every hot loop in
+the reproduction (cutoff Dijkstra inside the greedy spanner, the
+``α = Θ(r³ log n)`` oversampling loop of Theorem 2.1, the Lemma 3.1
+verifier) pays per-edge hashing and per-iteration graph copies on it.
+
+This module provides an *immutable* compressed-sparse-row snapshot,
+:class:`CSRGraph`, plus array-based kernels that run on flat integer
+indices:
+
+* cutoff / early-target Dijkstra (:meth:`CSRGraph.dijkstra_idx`),
+* multi-source Dijkstra (:meth:`CSRGraph.multi_source_dijkstra_idx`),
+* batched BFS (:meth:`CSRGraph.bfs_idx`, :meth:`CSRGraph.batched_bfs_idx`),
+* survivor-mask subgraph views (:class:`SurvivorView`) that filter edges
+  in O(m) — via one vectorized NumPy pass when available — without ever
+  rebuilding an adjacency dict.
+
+Hot arrays are plain Python lists (CPython element access on lists beats
+NumPy scalar indexing inside interpreted loops); endpoint arrays are
+mirrored into NumPy only where whole-array vectorization wins (survivor
+masking). The snapshot is cached on the source graph keyed by its mutation
+counter, so repeated queries — ``all_pairs_distances``, verification
+sweeps, spanner stretch checks — build it exactly once.
+
+``graph/paths.py`` dispatches to these kernels transparently; public
+signatures and semantics there are unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import BaseGraph, DiGraph, Graph
+
+try:  # NumPy is part of the baked-in toolchain, but stay importable without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    _np = None
+
+Vertex = Hashable
+
+INF = math.inf
+
+#: Below this vertex count the dict algorithms win (snapshot overhead
+#: dominates); :func:`maybe_snapshot` returns None and callers fall back.
+MIN_DISPATCH_VERTICES = 48
+
+
+class CSRGraph:
+    """Immutable int-indexed CSR snapshot of a :class:`Graph` / :class:`DiGraph`.
+
+    Vertices are mapped to indices ``0..n-1`` in the source graph's
+    iteration order (``verts`` / ``index`` are the two translation tables).
+    For undirected graphs every edge is stored as two half-edges sharing
+    one *edge id*; ``edge_u/edge_v/edge_w`` list each unique edge once, in
+    the source graph's ``edges()`` order, so edge ids are stable and can be
+    unioned across survivor subsamples as plain integers.
+    """
+
+    __slots__ = (
+        "directed",
+        "verts",
+        "index",
+        "indptr",
+        "nbr",
+        "wt",
+        "eid",
+        "edge_u",
+        "edge_v",
+        "edge_w",
+        "_edge_u_np",
+        "_edge_v_np",
+    )
+
+    def __init__(self) -> None:
+        self.directed: bool = False
+        self.verts: List[Vertex] = []
+        self.index: Dict[Vertex, int] = {}
+        self.indptr: List[int] = [0]
+        self.nbr: List[int] = []
+        self.wt: List[float] = []
+        self.eid: List[int] = []
+        self.edge_u: List[int] = []
+        self.edge_v: List[int] = []
+        self.edge_w: List[float] = []
+        self._edge_u_np = None
+        self._edge_v_np = None
+
+    # ------------------------------------------------------------------
+    # Construction / round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: BaseGraph) -> "CSRGraph":
+        """Snapshot ``graph`` into CSR arrays (O(n + m))."""
+        snap = cls()
+        snap.directed = bool(graph.directed)
+        verts = list(graph.vertices())
+        index = {v: i for i, v in enumerate(verts)}
+        snap.verts = verts
+        snap.index = index
+        n = len(verts)
+
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        edge_w: List[float] = []
+        deg = [0] * n
+        for u, v, w in graph.edges():
+            ui = index[u]
+            vi = index[v]
+            edge_u.append(ui)
+            edge_v.append(vi)
+            edge_w.append(w)
+            deg[ui] += 1
+            if not snap.directed:
+                deg[vi] += 1
+        snap.edge_u = edge_u
+        snap.edge_v = edge_v
+        snap.edge_w = edge_w
+
+        indptr = [0] * (n + 1)
+        for i in range(n):
+            indptr[i + 1] = indptr[i] + deg[i]
+        m_half = indptr[n]
+        nbr = [0] * m_half
+        wt = [0.0] * m_half
+        eid = [0] * m_half
+        cursor = indptr[:n]  # per-vertex fill position
+        for e, (ui, vi) in enumerate(zip(edge_u, edge_v)):
+            w = edge_w[e]
+            c = cursor[ui]
+            nbr[c] = vi
+            wt[c] = w
+            eid[c] = e
+            cursor[ui] = c + 1
+            if not snap.directed:
+                c = cursor[vi]
+                nbr[c] = ui
+                wt[c] = w
+                eid[c] = e
+                cursor[vi] = c + 1
+        snap.indptr = indptr
+        snap.nbr = nbr
+        snap.wt = wt
+        snap.eid = eid
+        if _np is not None:
+            snap._edge_u_np = _np.asarray(edge_u, dtype=_np.int64)
+            snap._edge_v_np = _np.asarray(edge_v, dtype=_np.int64)
+        return snap
+
+    def to_graph(self) -> BaseGraph:
+        """Materialize back into a dict graph (inverse of :meth:`from_graph`)."""
+        g: BaseGraph = DiGraph() if self.directed else Graph()
+        g.add_vertices(self.verts)
+        verts = self.verts
+        for ui, vi, w in zip(self.edge_u, self.edge_v, self.edge_w):
+            g.add_edge(verts[ui], verts[vi], w)
+        return g
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.verts)
+
+    @property
+    def num_edges(self) -> int:
+        """Unique edge count (each undirected edge counted once)."""
+        return len(self.edge_u)
+
+    def out_items(self, v: int) -> Iterable[Tuple[int, float]]:
+        """(neighbour index, weight) pairs of vertex index ``v``."""
+        nbr, wt = self.nbr, self.wt
+        for e in range(self.indptr[v], self.indptr[v + 1]):
+            yield nbr[e], wt[e]
+
+    # ------------------------------------------------------------------
+    # Index-space kernels
+    # ------------------------------------------------------------------
+    #
+    # All kernels accept an optional ``mask``: a length-n indexable of
+    # truthy/falsy values; vertices with a falsy entry are treated as
+    # deleted (the paper's G \ J survivor view). Distances use lists with
+    # inf / -1 sentinels instead of dicts — the arrays double as the
+    # settled-check that lets the heap carry bare (dist, index) pairs with
+    # lazy deletion, no per-push tie-break counter needed.
+
+    def dijkstra_idx(
+        self,
+        source: int,
+        cutoff: Optional[float] = None,
+        target: int = -1,
+        mask: Optional[Sequence] = None,
+    ) -> Tuple[List[float], List[int]]:
+        """Array Dijkstra from vertex index ``source``.
+
+        Returns ``(dist, settled_order)``: ``dist[i]`` is the tentative
+        distance (``inf`` if unreached) and ``settled_order`` lists the
+        vertex indices whose distance is final, in settle order — so
+        callers of bounded queries touch O(|ball|) results, not O(n).
+        With ``target >= 0`` the scan stops as soon as the target
+        settles, mirroring the dict implementation — only settled
+        entries are meaningful then.
+        """
+        n = len(self.verts)
+        dist = [INF] * n
+        settled = [False] * n
+        order: List[int] = []
+        if mask is not None and not mask[source]:
+            return dist, order
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        indptr, nbr, wt = self.indptr, self.nbr, self.wt
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = pop(heap)
+            if settled[v]:
+                continue  # stale heap entry
+            settled[v] = True
+            order.append(v)
+            if v == target:
+                break
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if settled[u]:
+                    continue
+                if mask is not None and not mask[u]:
+                    continue
+                nd = d + wt[e]
+                if nd < dist[u] and (cutoff is None or nd <= cutoff):
+                    dist[u] = nd
+                    push(heap, (nd, u))
+        return dist, order
+
+    def dijkstra_parents_idx(
+        self,
+        source: int,
+        cutoff: Optional[float] = None,
+        mask: Optional[Sequence] = None,
+    ) -> Tuple[List[float], List[int], List[int]]:
+        """Like :meth:`dijkstra_idx` but also returns a parent array (-1 = none)."""
+        n = len(self.verts)
+        dist = [INF] * n
+        parent = [-1] * n
+        settled = [False] * n
+        order: List[int] = []
+        if mask is not None and not mask[source]:
+            return dist, parent, order
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        indptr, nbr, wt = self.indptr, self.nbr, self.wt
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = pop(heap)
+            if settled[v]:
+                continue
+            settled[v] = True
+            order.append(v)
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if settled[u]:
+                    continue
+                if mask is not None and not mask[u]:
+                    continue
+                nd = d + wt[e]
+                if nd < dist[u] and (cutoff is None or nd <= cutoff):
+                    dist[u] = nd
+                    parent[u] = v
+                    push(heap, (nd, u))
+        return dist, parent, order
+
+    def multi_source_dijkstra_idx(
+        self,
+        sources: Iterable[int],
+        cutoff: Optional[float] = None,
+        mask: Optional[Sequence] = None,
+    ) -> Tuple[List[float], List[int]]:
+        """Distances to the nearest of ``sources`` plus the owning source.
+
+        Returns ``(dist, owner)`` where ``owner[i]`` is the source index
+        that realizes ``dist[i]`` (-1 if unreached). One heap pass — the
+        standard multi-source trick used by cluster decompositions.
+        """
+        n = len(self.verts)
+        dist = [INF] * n
+        owner = [-1] * n
+        settled = [False] * n
+        heap: List[Tuple[float, int]] = []
+        for s in sources:
+            if mask is not None and not mask[s]:
+                continue
+            if dist[s] > 0.0:
+                dist[s] = 0.0
+                owner[s] = s
+                heap.append((0.0, s))
+        heapq.heapify(heap)
+        indptr, nbr, wt = self.indptr, self.nbr, self.wt
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = pop(heap)
+            if settled[v]:
+                continue
+            settled[v] = True
+            own = owner[v]
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if settled[u]:
+                    continue
+                if mask is not None and not mask[u]:
+                    continue
+                nd = d + wt[e]
+                if nd < dist[u] and (cutoff is None or nd <= cutoff):
+                    dist[u] = nd
+                    owner[u] = own
+                    push(heap, (nd, u))
+        return dist, owner
+
+    def bfs_idx(
+        self,
+        source: int,
+        cutoff: Optional[int] = None,
+        mask: Optional[Sequence] = None,
+    ) -> List[int]:
+        """Hop distances from vertex index ``source`` (-1 = unreached)."""
+        n = len(self.verts)
+        dist = [-1] * n
+        if mask is not None and not mask[source]:
+            return dist
+        dist[source] = 0
+        queue = deque([source])
+        indptr, nbr = self.indptr, self.nbr
+        while queue:
+            v = queue.popleft()
+            d = dist[v]
+            if cutoff is not None and d >= cutoff:
+                continue
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if dist[u] < 0 and (mask is None or mask[u]):
+                    dist[u] = d + 1
+                    queue.append(u)
+        return dist
+
+    def batched_bfs_idx(
+        self,
+        sources: Iterable[int],
+        cutoff: Optional[int] = None,
+        mask: Optional[Sequence] = None,
+    ) -> Dict[int, List[int]]:
+        """Hop-distance arrays for several sources in one call.
+
+        The batch shares the CSR arrays (no per-source graph traversal
+        setup); used by diameter sweeps and the distributed simulators.
+        """
+        return {s: self.bfs_idx(s, cutoff=cutoff, mask=mask) for s in sources}
+
+    # ------------------------------------------------------------------
+    # Survivor masking
+    # ------------------------------------------------------------------
+
+    def surviving_edge_ids(self, alive: Sequence) -> List[int]:
+        """Edge ids whose *both* endpoints are alive under ``alive``.
+
+        O(m); vectorized through NumPy when available. ``alive`` may be a
+        list of bools or a NumPy bool array.
+        """
+        if _np is not None and self._edge_u_np is not None:
+            alive_np = _np.asarray(alive, dtype=bool)
+            ok = alive_np[self._edge_u_np] & alive_np[self._edge_v_np]
+            return _np.nonzero(ok)[0].tolist()
+        edge_u, edge_v = self.edge_u, self.edge_v
+        return [
+            e
+            for e in range(len(edge_u))
+            if alive[edge_u[e]] and alive[edge_v[e]]
+        ]
+
+    def filter_edge_ids(self, ids, alive: Sequence):
+        """Subsequence of edge ids ``ids`` surviving the mask, order kept.
+
+        This is the conversion loop's per-iteration work: ``ids`` is the
+        weight-sorted id list, ``alive`` the survivor bitmask, and the
+        result feeds the indexed greedy kernel directly. One vectorized
+        O(m) pass with NumPy; a plain comprehension otherwise.
+        """
+        if _np is not None and self._edge_u_np is not None:
+            ids_np = _np.asarray(ids, dtype=_np.int64)
+            alive_np = _np.asarray(alive, dtype=bool)
+            ok = alive_np[self._edge_u_np[ids_np]] & alive_np[self._edge_v_np[ids_np]]
+            return ids_np[ok]
+        edge_u, edge_v = self.edge_u, self.edge_v
+        return [e for e in ids if alive[edge_u[e]] and alive[edge_v[e]]]
+
+    def survivor_view(self, alive: Sequence) -> "SurvivorView":
+        """O(m) subgraph view ``G \\ J`` for the survivor mask ``alive``."""
+        return SurvivorView(self, alive)
+
+    # ------------------------------------------------------------------
+    # Vertex-space wrappers (used by the paths.py dispatch)
+    # ------------------------------------------------------------------
+
+    def dijkstra_dict(
+        self,
+        source: Vertex,
+        cutoff: Optional[float] = None,
+        target: Optional[Vertex] = None,
+    ) -> Dict[Vertex, float]:
+        """Dict-compatible Dijkstra: settled vertices mapped to distances."""
+        src = self.index[source]
+        tgt = self.index.get(target, -1) if target is not None else -1
+        dist, order = self.dijkstra_idx(src, cutoff=cutoff, target=tgt)
+        verts = self.verts
+        return {verts[i]: dist[i] for i in order}
+
+    def dijkstra_with_paths_dict(
+        self, source: Vertex, cutoff: Optional[float] = None
+    ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Vertex]]:
+        """Dict-compatible (distances, shortest-path-tree parents)."""
+        src = self.index[source]
+        dist, parent, order = self.dijkstra_parents_idx(src, cutoff=cutoff)
+        verts = self.verts
+        dist_d: Dict[Vertex, float] = {}
+        parent_d: Dict[Vertex, Vertex] = {}
+        for i in order:
+            dist_d[verts[i]] = dist[i]
+            if parent[i] >= 0:
+                parent_d[verts[i]] = verts[parent[i]]
+        return dist_d, parent_d
+
+    def bfs_dict(
+        self, source: Vertex, cutoff: Optional[int] = None
+    ) -> Dict[Vertex, int]:
+        """Dict-compatible hop distances."""
+        dist = self.bfs_idx(self.index[source], cutoff=cutoff)
+        verts = self.verts
+        return {verts[i]: dist[i] for i in range(len(verts)) if dist[i] >= 0}
+
+
+class SurvivorView:
+    """A ``G \\ J`` view over a :class:`CSRGraph` defined by a vertex mask.
+
+    No arrays are copied: kernels run on the parent CSR with the mask
+    applied per relaxation. ``surviving_edge_ids`` is computed lazily once
+    (one vectorized O(m) pass).
+    """
+
+    __slots__ = ("csr", "alive", "_edge_ids")
+
+    def __init__(self, csr: CSRGraph, alive: Sequence):
+        self.csr = csr
+        self.alive = alive
+        self._edge_ids: Optional[List[int]] = None
+
+    @property
+    def num_surviving_vertices(self) -> int:
+        return sum(1 for a in self.alive if a)
+
+    def surviving_edge_ids(self) -> List[int]:
+        if self._edge_ids is None:
+            self._edge_ids = self.csr.surviving_edge_ids(self.alive)
+        return self._edge_ids
+
+    @property
+    def num_surviving_edges(self) -> int:
+        return len(self.surviving_edge_ids())
+
+    def dijkstra_idx(self, source: int, cutoff=None, target: int = -1):
+        return self.csr.dijkstra_idx(
+            source, cutoff=cutoff, target=target, mask=self.alive
+        )
+
+    def bfs_idx(self, source: int, cutoff=None):
+        return self.csr.bfs_idx(source, cutoff=cutoff, mask=self.alive)
+
+    def to_graph(self) -> BaseGraph:
+        """Materialize the surviving induced subgraph as a dict graph."""
+        csr = self.csr
+        g: BaseGraph = DiGraph() if csr.directed else Graph()
+        alive = self.alive
+        g.add_vertices(v for i, v in enumerate(csr.verts) if alive[i])
+        verts = csr.verts
+        for e in self.surviving_edge_ids():
+            g.add_edge(verts[csr.edge_u[e]], verts[csr.edge_v[e]], csr.edge_w[e])
+        return g
+
+
+# ---------------------------------------------------------------------------
+# Cached snapshots
+# ---------------------------------------------------------------------------
+
+
+def snapshot(graph: BaseGraph) -> CSRGraph:
+    """Return the CSR snapshot of ``graph``, cached by mutation counter.
+
+    The cache lives on the graph instance (``_csr_cache``); any mutation
+    bumps ``_version`` and invalidates it, so a stale snapshot is never
+    served. Building is O(n + m) and happens at most once per graph state.
+    """
+    version = getattr(graph, "_version", None)
+    cache = getattr(graph, "_csr_cache", None)
+    if cache is not None and cache[0] == version:
+        return cache[1]
+    snap = CSRGraph.from_graph(graph)
+    graph._csr_cache = (version, snap)  # type: ignore[attr-defined]
+    return snap
+
+
+def maybe_snapshot(graph: BaseGraph, build: bool = True) -> Optional[CSRGraph]:
+    """Snapshot for dispatch: None when the dict path is the better bet.
+
+    Small graphs never dispatch. With ``build=False`` only an
+    already-cached, still-valid snapshot is returned — callers use this
+    for *bounded* queries (cutoff / early-target), where the dict
+    implementation explores a small ball and an O(n + m) snapshot build
+    per query would be a net loss in mutate-query loops; a bounded query
+    still rides the CSR when some earlier global query paid for the
+    snapshot.
+    """
+    if graph.num_vertices < MIN_DISPATCH_VERTICES:
+        return None
+    if not build:
+        cache = getattr(graph, "_csr_cache", None)
+        if cache is None or cache[0] != getattr(graph, "_version", None):
+            return None
+        return cache[1]
+    return snapshot(graph)

@@ -32,6 +32,11 @@ class BaseGraph:
     def __init__(self) -> None:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
         self._num_edges = 0
+        #: Monotone mutation counter. The CSR kernel layer
+        #: (:mod:`repro.graph.csr`) snapshots a graph into flat arrays and
+        #: caches the snapshot keyed on this counter, so every mutator must
+        #: bump it.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Vertices
@@ -41,6 +46,7 @@ class BaseGraph:
         """Add vertex ``v``; a no-op if it is already present."""
         if v not in self._adj:
             self._adj[v] = {}
+            self._version += 1
             self._added_vertex_hook(v)
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
@@ -140,10 +146,15 @@ class BaseGraph:
 
         Vertices not present in the graph are ignored, matching the usual
         mathematical convention for `G[S]` with `S ⊆ V`.
+
+        Vertices (and hence edge enumeration order) are inherited in
+        *this* graph's iteration order, not the order of ``vertices`` —
+        keeping the result independent of set/hash ordering so that
+        seeded algorithms downstream are reproducible across processes.
         """
         keep = {v for v in vertices if v in self._adj}
         sub = type(self)()
-        sub.add_vertices(keep)
+        sub.add_vertices(v for v in self._adj if v in keep)
         for u, v, w in self.edges():
             if u in keep and v in keep:
                 sub.add_edge(u, v, w)
@@ -198,6 +209,7 @@ class Graph(BaseGraph):
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove undirected edge ``{u, v}``."""
@@ -207,6 +219,7 @@ class Graph(BaseGraph):
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex ``v`` and all incident edges."""
@@ -214,6 +227,7 @@ class Graph(BaseGraph):
         for u in list(self._adj[v]):
             self.remove_edge(v, u)
         del self._adj[v]
+        self._version += 1
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return True if ``{u, v}`` is an edge."""
@@ -291,6 +305,7 @@ class DiGraph(BaseGraph):
             self._num_edges += 1
         self._adj[u][v] = weight
         self._pred[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove arc ``(u, v)``."""
@@ -300,6 +315,7 @@ class DiGraph(BaseGraph):
         del self._adj[u][v]
         del self._pred[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex ``v`` and all incident arcs."""
@@ -310,6 +326,7 @@ class DiGraph(BaseGraph):
             self.remove_edge(u, v)
         del self._adj[v]
         del self._pred[v]
+        self._version += 1
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return True if arc ``(u, v)`` exists."""

@@ -6,6 +6,18 @@ fault-tolerance verifiers compare distances in ``H \\ F`` against ``G \\ F``.
 
 All functions treat edge weights as nonnegative *lengths*; ``math.inf``
 denotes unreachability.
+
+Dispatch: on graphs large enough to amortize a snapshot
+(:data:`repro.graph.csr.MIN_DISPATCH_VERTICES` vertices), the entry points
+below transparently run on the flat-array CSR kernels of
+:mod:`repro.graph.csr` — same signatures, same distances and reached
+sets, no per-edge hashing. (Shortest-path-tree *parents* may break ties
+between equal-length paths differently than the dict implementation;
+both are valid tight trees.) Snapshots are cached on the graph and
+invalidated by mutation, so
+repeated queries (all-pairs sweeps, spanner verification) pay the O(n + m)
+conversion once. Small graphs keep the dict implementations, whose
+behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import DisconnectedError, VertexNotFound
+from .csr import maybe_snapshot
 from .graph import BaseGraph, DiGraph, Graph
 
 Vertex = Hashable
@@ -55,6 +68,10 @@ def dijkstra(
     """
     if not graph.has_vertex(source):
         raise VertexNotFound(source)
+    bounded = cutoff is not None or target is not None
+    csr = maybe_snapshot(graph, build=not bounded)
+    if csr is not None:
+        return csr.dijkstra_dict(source, cutoff=cutoff, target=target)
     dist: Dict[Vertex, float] = {}
     heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
     counter = 1  # tie-break so heterogeneous vertex types never get compared
@@ -86,6 +103,9 @@ def dijkstra_with_paths(
     """
     if not graph.has_vertex(source):
         raise VertexNotFound(source)
+    csr = maybe_snapshot(graph, build=cutoff is None)
+    if csr is not None:
+        return csr.dijkstra_with_paths_dict(source, cutoff=cutoff)
     dist: Dict[Vertex, float] = {}
     parent: Dict[Vertex, Vertex] = {}
     best: Dict[Vertex, float] = {source: 0.0}
@@ -135,6 +155,9 @@ def bfs_distances(
     """
     if not graph.has_vertex(source):
         raise VertexNotFound(source)
+    csr = maybe_snapshot(graph, build=cutoff is None)
+    if csr is not None:
+        return csr.bfs_dict(source, cutoff=cutoff)
     dist = {source: 0}
     queue = deque([source])
     while queue:

@@ -30,6 +30,14 @@ from ..errors import LPError, SolverLimit
 from .model import EQUAL, GREATER_EQUAL, LESS_EQUAL, LinearProgram, LPSolution
 
 _TOL = 1e-9
+#: Decisive-negativity threshold for the unboundedness verdict. A column
+#: whose reduced cost is only just below ``-_TOL`` typically owes it to a
+#: coefficient at the tolerance scale (e.g. an LP coefficient of exactly
+#: 1e-9); when the ratio test then rejects every pivot in that column
+#: (all entries <= ``_TOL``), the honest reading is "numerical noise,
+#: nothing to improve", not "unbounded". Only a column that is decisively
+#: improving with no positive entry certifies a real unbounded ray.
+_DUAL_TOL = 1e-7
 
 
 class _Tableau:
@@ -61,29 +69,40 @@ class _Tableau:
         m, _n = self.a.shape
         for _ in range(max_iterations):
             reduced = self.reduced_costs()
-            entering = -1
-            for j in range(len(reduced)):
-                if reduced[j] < -_TOL:
-                    entering = j  # Bland: smallest index
+            pivoted = False
+            basic = set(self.basis)
+            for entering in range(len(reduced)):
+                if reduced[entering] >= -_TOL:
+                    continue  # Bland: try improving columns in index order
+                if entering in basic:
+                    # A basic column's reduced cost is exactly zero in
+                    # exact arithmetic; a tiny negative here is float
+                    # noise, and "re-entering" it pivots a variable onto
+                    # its own row — a no-op that stalls forever.
+                    continue
+                # Ratio test, Bland tie-break on basis variable index.
+                leaving = -1
+                best_ratio = math.inf
+                for i in range(m):
+                    aij = self.a[i, entering]
+                    if aij > _TOL:
+                        ratio = self.b[i] / aij
+                        if ratio < best_ratio - _TOL or (
+                            abs(ratio - best_ratio) <= _TOL
+                            and (leaving < 0 or self.basis[i] < self.basis[leaving])
+                        ):
+                            best_ratio = ratio
+                            leaving = i
+                if leaving >= 0:
+                    self._pivot(leaving, entering)
+                    pivoted = True
                     break
-            if entering < 0:
+                if reduced[entering] < -_DUAL_TOL:
+                    return "unbounded"
+                # Barely-negative reduced cost and no tolerable pivot:
+                # tolerance-scale noise, not a ray — try the next column.
+            if not pivoted:
                 return "optimal"
-            # Ratio test, Bland tie-break on basis variable index.
-            leaving = -1
-            best_ratio = math.inf
-            for i in range(m):
-                aij = self.a[i, entering]
-                if aij > _TOL:
-                    ratio = self.b[i] / aij
-                    if ratio < best_ratio - _TOL or (
-                        abs(ratio - best_ratio) <= _TOL
-                        and (leaving < 0 or self.basis[i] < self.basis[leaving])
-                    ):
-                        best_ratio = ratio
-                        leaving = i
-            if leaving < 0:
-                return "unbounded"
-            self._pivot(leaving, entering)
         raise SolverLimit(f"simplex exceeded {max_iterations} iterations")
 
     def solution(self, num_original: int) -> np.ndarray:
@@ -131,45 +150,24 @@ def solve_standard_form(
     # Drive any artificial variables remaining in the basis out of it.
     for i in range(m):
         if tableau.basis[i] >= n:
-            pivoted = False
             for j in range(n):
                 if abs(tableau.a[i, j]) > _TOL:
                     tableau._pivot(i, j)
-                    pivoted = True
                     break
-            if not pivoted:
-                # Redundant row: zero it by leaving the artificial at 0.
-                continue
 
-    # Phase 2 on the original columns.
-    keep_rows = list(range(m))
+    # Phase 2 on the original columns. A row whose basis variable is still
+    # artificial could not be pivoted out: its coefficients on the original
+    # columns are all ~0 and (phase-1 optimal) its rhs is ~0, so the row is
+    # redundant and is dropped. Keeping such rows alive with big-M-cost
+    # artificial columns — the previous scheme — poisons every reduced
+    # cost with ~1e12-scale cancellation noise, which manifested as
+    # spurious "unbounded" verdicts and Bland-rule cycling on degenerate
+    # instances.
+    keep_rows = [i for i in range(m) if tableau.basis[i] < n]
     a2 = tableau.a[np.ix_(keep_rows, list(range(n)))]
     b2 = tableau.b[keep_rows]
-    basis2 = []
-    for i in keep_rows:
-        if tableau.basis[i] < n:
-            basis2.append(tableau.basis[i])
-        else:
-            basis2.append(tableau.basis[i])  # degenerate artificial at value 0
-    # For rows still based on an artificial (value 0), extend phase-2 costs
-    # with prohibitive cost so they never re-enter.
-    num_cols = n + sum(1 for j in basis2 if j >= n)
-    if num_cols > n:
-        extra = []
-        mapping = {}
-        col = n
-        ext = np.zeros((len(keep_rows), num_cols - n))
-        for i, j in enumerate(basis2):
-            if j >= n:
-                mapping[j] = col
-                ext[i, col - n] = 1.0
-                basis2[i] = col
-                col += 1
-        a2 = np.hstack([a2, ext])
-        c2 = np.concatenate([c, np.full(num_cols - n, 1e12)])
-    else:
-        c2 = c.copy()
-    tableau2 = _Tableau(a2, b2, c2, basis2)
+    basis2 = [tableau.basis[i] for i in keep_rows]
+    tableau2 = _Tableau(a2, b2, c.copy(), basis2)
     status = tableau2.run(max_iterations)
     if status == "unbounded":
         return "unbounded", None, -math.inf
