@@ -11,7 +11,9 @@ against a sparse host):
 * measured size of the conversion (light schedule; the theorem schedule
   differs only by an extra r factor in the iteration count);
 * measured size of the CLPR09 exact union where enumeration is feasible
-  (r = 1);
+  (r = 1) — the per-fault-set TZ replay rides the CSR kernel layer's
+  masked batched-SSSP path, which is what makes K_200 enumeration cheap
+  enough for a default benchmark run;
 * both proved bounds as analytic curves across the whole r range.
 
 Shape to hold: measured conversion size grows at most ~quadratically in r;
@@ -28,7 +30,7 @@ from repro.core import clpr_fault_tolerant_spanner, fault_tolerant_spanner
 from repro.graph import complete_graph
 from repro.spanners import clpr_ft_size_bound, conversion_size_bound
 
-N = 150
+N = 200
 K = 3  # conversion stretch; CLPR parameterized by t with 2t-1 = 3 -> t = 2
 R_VALUES = [1, 2, 3, 4, 5]
 

@@ -6,7 +6,8 @@ the slope is about ``1 + 2/(k+1)`` (1.5 for k = 3, 1.33 for k = 5), and the
 slope *decreases* as the stretch grows.
 
 Workload: dense G(n, 0.5) hosts (so the spanner, not the host, is the
-binding quantity), r = 2, light schedule. We fit the log-log slope of the
+binding quantity), r = 2, light schedule; the sweep tops out at n = 200
+now that the conversion loop runs on the CSR survivor-bitmask engine. We fit the log-log slope of the
 per-iteration greedy contribution's union.
 
 Shape to hold: slope(k=3) in a band around 1.5 (log-factor and small-n
@@ -22,7 +23,7 @@ from repro.core import fault_tolerant_spanner
 from repro.graph import gnp_random_graph
 from repro.spanners import conversion_size_bound
 
-NS = [50, 75, 110, 160]
+NS = [60, 90, 140, 200]
 R = 2
 
 

@@ -31,7 +31,7 @@ from repro.distributed import distributed_ft2_spanner, distributed_ft_spanner
 from repro.graph import connected_gnp_graph, gnp_random_digraph
 from repro.two_spanner import solve_ft2_lp
 
-NS = [8, 12, 17, 24]
+NS = [10, 14, 20, 28]
 R = 1
 
 
@@ -55,7 +55,7 @@ def sweep():
         )
 
     conv_rows = []
-    comm = connected_gnp_graph(20, 0.35, seed=50)
+    comm = connected_gnp_graph(26, 0.3, seed=50)
     for iterations in (6, 12, 24):
         ft = distributed_ft_spanner(comm, k=2, r=R, iterations=iterations, seed=51)
         assert sampled_fault_check(ft.spanner, comm, 3, R, trials=30, seed=52)

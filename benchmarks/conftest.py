@@ -25,10 +25,15 @@ _TABLE_LOG = os.path.join(os.path.dirname(__file__), ".tables.log")
 
 
 def pytest_configure(config):
-    """Start a fresh table log for this benchmark session."""
+    """Start a fresh table log; register the opt-in perf gate marker."""
     if os.path.exists(_TABLE_LOG):
         os.remove(_TABLE_LOG)
     os.environ["REPRO_TABLE_LOG"] = _TABLE_LOG
+    config.addinivalue_line(
+        "markers",
+        "perf_regression: opt-in smoke gate comparing CSR kernels against "
+        "their dict references (see benchmarks/check_regression.py)",
+    )
 
 
 def pytest_terminal_summary(terminalreporter):

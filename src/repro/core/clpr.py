@@ -14,18 +14,48 @@ spanners). Enumerating all ``O(n^r)`` fault sets is only feasible at small
 scale with the *proved size bound* (see
 :func:`repro.spanners.bounds.clpr_ft_size_bound`) as an analytic curve at
 larger scale. DESIGN.md records this substitution.
+
+Execution paths (dispatch rule: :func:`repro.graph.csr.resolve_method`):
+
+* ``method="csr"`` snapshots the host **once** and replays the per-fault
+  TZ construction through the compiled kernels: each fault set becomes a
+  survivor weight vector (``inf`` on every half-edge incident to a
+  faulted vertex — the survivor-bitmask pattern of
+  :mod:`repro.core.conversion`), the level distances run as masked
+  multi-source passes, the cluster trees as Johnson-primed limited
+  batched SSSPs, and the union is a set of integer edge ids;
+* ``method="dict"`` is the reference implementation — one
+  ``without_vertices`` dict copy per fault set.
+
+Both paths draw the hierarchy randomness identically (host vertex order)
+and share the distance-local tree rule of
+:mod:`repro.spanners.thorup_zwick`, so a fixed seed yields the same union
+spanner edge set either way (property-tested).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Set
 
 from ..errors import FaultToleranceError
+from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import BaseGraph
 from ..rng import RandomLike, ensure_rng
-from ..spanners.thorup_zwick import _cluster_tree_edges, _multi_source_distances, sample_hierarchy
+from ..spanners.thorup_zwick import (
+    _cluster_tree_edges,
+    _level_centers,
+    _level_tree_eids_scipy,
+    _multi_source_distances,
+    _vertex_order,
+    sample_hierarchy,
+)
 from .verify import count_fault_sets, fault_sets
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    _np = None
 
 Vertex = Hashable
 
@@ -46,6 +76,82 @@ class CLPRResult:
         return self.spanner.num_edges
 
 
+def _clpr_dict(
+    graph: BaseGraph, t: int, r: int, vertices, shared_levels, rng
+) -> CLPRResult:
+    """Reference per-fault-set dict pipeline."""
+    union = type(graph)()
+    union.add_vertices(vertices)
+    processed = 0
+    for faults in fault_sets(vertices, r):
+        fault_set = set(faults)
+        sub = graph.without_vertices(fault_set)
+        order = _vertex_order(sub)
+        if shared_levels is not None:
+            levels = [level - fault_set for level in shared_levels]
+        else:
+            levels = sample_hierarchy(
+                [v for v in vertices if v not in fault_set], t, rng
+            )
+        sub_vertices = list(sub.vertices())
+        for i in range(t):
+            barrier = (
+                _multi_source_distances(sub, levels[i + 1]) if levels[i + 1] else {}
+            )
+            for w in _level_centers(sub_vertices, levels, i):
+                for a, b in _cluster_tree_edges(sub, w, barrier, order):
+                    union.add_edge(a, b, graph.weight(a, b))
+        processed += 1
+    return CLPRResult(spanner=union, stretch=2 * t - 1, fault_sets_processed=processed)
+
+
+def _clpr_csr(
+    graph: BaseGraph, t: int, r: int, vertices, shared_levels, rng
+) -> CLPRResult:
+    """One snapshot; per fault set a masked weight vector + kernel passes."""
+    np = _np
+    snap = snapshot(graph)
+    kernels = snap.scipy_kernels()
+    index = snap.index
+    _indptr, _nbr, wt, _eid, _deg = snap.half_arrays_np()
+    n = snap.num_vertices
+    chosen: Set[int] = set()
+    processed = 0
+    for faults in fault_sets(vertices, r):
+        fault_set = set(faults)
+        fidx = [index[f] for f in faults]
+        if fidx:
+            data = wt.copy()
+            data[kernels.incident_half_positions(fidx)] = _np.inf
+            alive_np = np.ones(n, dtype=bool)
+            alive_np[fidx] = False
+        else:
+            data = None
+            alive_np = None
+        if shared_levels is not None:
+            levels = [level - fault_set for level in shared_levels]
+        else:
+            levels = sample_hierarchy(
+                [v for v in vertices if v not in fault_set], t, rng
+            )
+        for i in range(t):
+            phi_np = None
+            if levels[i + 1]:
+                sources = sorted(index[v] for v in levels[i + 1])
+                phi_np = kernels.multi_source(sources, data=data)
+            centers = [index[w] for w in _level_centers(vertices, levels, i)]
+            centers = [c for c in centers if alive_np is None or alive_np[c]]
+            if not centers:
+                continue
+            _level_tree_eids_scipy(
+                snap, kernels, chosen, centers, phi_np,
+                base_data=data, alive_np=alive_np,
+            )
+        processed += 1
+    union = snap.materialize_edge_ids(sorted(chosen))
+    return CLPRResult(spanner=union, stretch=2 * t - 1, fault_sets_processed=processed)
+
+
 def clpr_fault_tolerant_spanner(
     graph: BaseGraph,
     t: int,
@@ -53,6 +159,8 @@ def clpr_fault_tolerant_spanner(
     seed: RandomLike = None,
     shared_randomness: bool = True,
     max_fault_sets: int = MAX_FAULT_SETS,
+    *,
+    method: str = "auto",
 ) -> CLPRResult:
     """Union-over-fault-sets construction in the style of [CLPR09].
 
@@ -70,6 +178,10 @@ def clpr_fault_tolerant_spanner(
         sampled and reused across every fault set — the key to the size
         analysis. When False, each fault set gets fresh randomness; this
         ablation shows the union blowing up, motivating the shared scheme.
+    method:
+        ``"auto"`` (default), ``"csr"``, or ``"dict"`` — see
+        :func:`repro.graph.csr.resolve_method`. Both paths produce the
+        same union spanner for a fixed seed.
     """
     if t < 1:
         raise FaultToleranceError(f"t must be >= 1, got {t}")
@@ -82,29 +194,13 @@ def clpr_fault_tolerant_spanner(
             f"enumerating {total} fault sets exceeds the limit {max_fault_sets}; "
             "use the analytic bound clpr_ft_size_bound at this scale"
         )
+    resolved = resolve_method(method, n)
     rng = ensure_rng(seed)
     vertices = list(graph.vertices())
-    union = type(graph)()
-    union.add_vertices(vertices)
-
     shared_levels = sample_hierarchy(vertices, t, rng) if shared_randomness else None
 
-    processed = 0
-    for faults in fault_sets(vertices, r):
-        fault_set = set(faults)
-        sub = graph.without_vertices(fault_set)
-        if shared_levels is not None:
-            levels = [level - fault_set for level in shared_levels]
-        else:
-            levels = sample_hierarchy(
-                [v for v in vertices if v not in fault_set], t, rng
-            )
-        for i in range(t):
-            barrier = (
-                _multi_source_distances(sub, levels[i + 1]) if levels[i + 1] else {}
-            )
-            for w in levels[i] - levels[i + 1]:
-                for a, b in _cluster_tree_edges(sub, w, barrier):
-                    union.add_edge(a, b, graph.weight(a, b))
-        processed += 1
-    return CLPRResult(spanner=union, stretch=2 * t - 1, fault_sets_processed=processed)
+    if resolved == "csr" and not graph.directed and vertices:
+        snap = snapshot(graph)
+        if snap.scipy_kernels() is not None:
+            return _clpr_csr(graph, t, r, vertices, shared_levels, rng)
+    return _clpr_dict(graph, t, r, vertices, shared_levels, rng)

@@ -32,9 +32,15 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..distsim.node import NodeAlgorithm, NodeContext
 from ..distsim.runtime import SimulationResult, run_algorithm
 from ..errors import DistributedError
+from ..graph.csr import BFSBalls, resolve_method, snapshot
 from ..graph.graph import BaseGraph, Graph
 from ..graph.paths import bfs_distances
 from ..rng import RandomLike, ensure_rng, geometric
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    _np = None
 
 Vertex = Hashable
 
@@ -107,17 +113,71 @@ class PaddedDecomposition:
         return worst
 
 
+def _claim_balls_csr(graph: Graph, order, radii) -> Dict[Vertex, Vertex]:
+    """Ball computation + claiming on the CSR kernels.
+
+    Hop balls come from the compiled unit-weight limited SSSP when SciPy
+    is available (centers batched by radius), otherwise from the
+    generation-stamped :class:`~repro.graph.csr.BFSBalls` kernel. Ball
+    membership is exact either way, so the claimed assignment matches the
+    dict path vertex for vertex.
+    """
+    snap = snapshot(graph)
+    index = snap.index
+    verts = snap.verts
+    n = snap.num_vertices
+    order_idx = [index[v] for v in order]
+    assignment_idx = [-1] * n
+    kernels = snap.scipy_kernels()
+    if kernels is not None and _np is not None:
+        unit = _np.ones(len(snap.nbr))
+        radius_of = {index[v]: radii[v] for v in order}
+        # Walk the claim order in fixed-size chunks (batching each
+        # chunk's centers by radius for the compiled call) so peak
+        # memory stays O(chunk · n) instead of one row per center.
+        chunk_size = 64
+        for lo in range(0, len(order_idx), chunk_size):
+            chunk = order_idx[lo : lo + chunk_size]
+            by_radius: Dict[int, List[int]] = {}
+            for c in chunk:
+                by_radius.setdefault(radius_of[c], []).append(c)
+            members: Dict[int, List[int]] = {}
+            for radius, centers in by_radius.items():
+                rows = kernels.sssp_rows(centers, limit=float(radius), data=unit)
+                for k, c in enumerate(centers):
+                    members[c] = _np.nonzero(rows[k] <= radius)[0].tolist()
+            for c in chunk:
+                for v in members[c]:
+                    if assignment_idx[v] < 0:
+                        assignment_idx[v] = c
+    else:
+        balls = BFSBalls(snap)
+        for c in order_idx:
+            for v in balls.ball(c, radii[verts[c]]):
+                if assignment_idx[v] < 0:
+                    assignment_idx[v] = c
+    return {
+        verts[v]: verts[c] for v, c in enumerate(assignment_idx) if c >= 0
+    }
+
+
 def sample_padded_decomposition(
     graph: Graph,
     p: float = DEFAULT_P,
     radius_cap: Optional[int] = None,
     seed: RandomLike = None,
+    *,
+    method: str = "auto",
 ) -> PaddedDecomposition:
     """Centralized sampler (truncated-BFS implementation of Lemma 3.7).
 
     Vertex IDs are compared by ``repr`` so arbitrary hashable vertex types
     get a consistent total order — matching the "smallest ID wins" rule of
-    the distributed version.
+    the distributed version. Radii are drawn in that same ID order on
+    every path, and ball membership is exact hop distance, so
+    ``method="csr"`` and ``method="dict"`` (see
+    :func:`repro.graph.csr.resolve_method`) produce identical
+    decompositions for a fixed seed.
     """
     if graph.directed:
         raise DistributedError("decompose the undirected communication graph")
@@ -126,14 +186,18 @@ def sample_padded_decomposition(
     cap = radius_cap if radius_cap is not None else default_radius_cap(n)
     order = sorted(graph.vertices(), key=repr)
     radii = {v: min(geometric(rng, p), cap) for v in order}
-    assignment: Dict[Vertex, Vertex] = {}
-    # Smallest-ID announcer wins: iterate centers in ID order and claim
-    # still-unassigned vertices within the radius.
-    for center in order:
-        reach = bfs_distances(graph, center, cutoff=radii[center])
-        for v in reach:
-            if v not in assignment:
-                assignment[v] = center
+    resolved = resolve_method(method, n)
+    if resolved == "csr" and n:
+        assignment = _claim_balls_csr(graph, order, radii)
+    else:
+        assignment = {}
+        # Smallest-ID announcer wins: iterate centers in ID order and
+        # claim still-unassigned vertices within the radius.
+        for center in order:
+            reach = bfs_distances(graph, center, cutoff=radii[center])
+            for v in reach:
+                if v not in assignment:
+                    assignment[v] = center
     return PaddedDecomposition(assignment=assignment, radii=radii, radius_cap=cap)
 
 

@@ -11,8 +11,15 @@ This module provides an *immutable* compressed-sparse-row snapshot,
 indices:
 
 * cutoff / early-target Dijkstra (:meth:`CSRGraph.dijkstra_idx`),
-* multi-source Dijkstra (:meth:`CSRGraph.multi_source_dijkstra_idx`),
-* batched BFS (:meth:`CSRGraph.bfs_idx`, :meth:`CSRGraph.batched_bfs_idx`),
+* labeled multi-source Dijkstra (:meth:`CSRGraph.multi_source_dijkstra_idx`),
+  returning nearest-source owner + distance arrays — the Thorup–Zwick
+  level-distance / witness pass and cluster joining,
+* barrier-restricted Dijkstra (:meth:`CSRGraph.barrier_dijkstra_idx`) for
+  the TZ cluster trees ``C(w) = {v : d(w, v) < d(A_{i+1}, v)}``, and the
+  compiled batched equivalents in :class:`SciPyGraphKernels`,
+* batched BFS (:meth:`CSRGraph.bfs_idx`, :meth:`CSRGraph.batched_bfs_idx`)
+  and reusable truncated-radius BFS balls (:class:`BFSBalls`) for the
+  Lemma 3.7 padded-decomposition sampler,
 * survivor-mask subgraph views (:class:`SurvivorView`) that filter edges
   in O(m) — via one vectorized NumPy pass when available — without ever
   rebuilding an adjacency dict.
@@ -41,6 +48,13 @@ try:  # NumPy is part of the baked-in toolchain, but stay importable without it.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only on stripped images
     _np = None
+
+try:  # SciPy's compiled csgraph kernels back the batched-SSSP fast paths.
+    from scipy.sparse import csr_matrix as _sp_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    _sp_csr_matrix = None
+    _sp_dijkstra = None
 
 Vertex = Hashable
 
@@ -75,6 +89,8 @@ class CSRGraph:
         "edge_w",
         "_edge_u_np",
         "_edge_v_np",
+        "_half_np",
+        "_sp_kernels",
     )
 
     def __init__(self) -> None:
@@ -90,6 +106,8 @@ class CSRGraph:
         self.edge_w: List[float] = []
         self._edge_u_np = None
         self._edge_v_np = None
+        self._half_np = None
+        self._sp_kernels = None
 
     # ------------------------------------------------------------------
     # Construction / round-trip
@@ -180,6 +198,42 @@ class CSRGraph:
         nbr, wt = self.nbr, self.wt
         for e in range(self.indptr[v], self.indptr[v + 1]):
             yield nbr[e], wt[e]
+
+    def half_arrays_np(self):
+        """NumPy mirrors ``(indptr, nbr, wt, eid, deg)`` of the half-edge CSR.
+
+        Built lazily, cached on the snapshot. ``None`` when NumPy is
+        unavailable. Index mirrors are int32 (half the memory traffic of
+        the vectorized tree-extraction passes; a snapshot with 2³¹ half
+        edges would not fit in RAM anyway); ``indptr`` stays int64 for
+        offset arithmetic.
+        """
+        if _np is None:
+            return None
+        if self._half_np is None:
+            indptr = _np.asarray(self.indptr, dtype=_np.int64)
+            self._half_np = (
+                indptr,
+                _np.asarray(self.nbr, dtype=_np.int32),
+                _np.asarray(self.wt, dtype=_np.float64),
+                _np.asarray(self.eid, dtype=_np.int32),
+                (indptr[1:] - indptr[:-1]).astype(_np.int32),
+            )
+        return self._half_np
+
+    def scipy_kernels(self) -> Optional["SciPyGraphKernels"]:
+        """Compiled batched-SSSP kernels for this snapshot, or ``None``.
+
+        ``None`` when SciPy/NumPy are missing or the snapshot is empty.
+        (csgraph honors explicitly-stored zero-weight edges, so zero
+        weights need no special casing.) Cached on the snapshot.
+        """
+        if self._sp_kernels is None:
+            if _sp_dijkstra is None or _np is None or self.num_vertices == 0:
+                self._sp_kernels = False
+            else:
+                self._sp_kernels = SciPyGraphKernels(self)
+        return self._sp_kernels or None
 
     # ------------------------------------------------------------------
     # Index-space kernels
@@ -325,6 +379,69 @@ class CSRGraph:
                     push(heap, (nd, u))
         return dist, owner
 
+    def barrier_dijkstra_idx(
+        self,
+        source: int,
+        barrier: Optional[Sequence] = None,
+        mask: Optional[Sequence] = None,
+    ) -> Tuple[List[float], List[int], List[int], List[int]]:
+        """Dijkstra from ``source`` restricted by a per-vertex barrier.
+
+        A vertex ``u != source`` is only relaxed to a tentative distance
+        ``nd`` when ``nd < barrier[u]`` — the Thorup–Zwick cluster rule
+        ``C(w) = {v : d(w, v) < d(A_{i+1}, v)}`` with ``barrier`` the
+        distance-to-next-level array (``None`` = unrestricted, i.e. an
+        all-``inf`` barrier). The source is never barrier-checked,
+        matching the classical construction (``d(w, w) = 0``).
+
+        Returns ``(dist, parent, parent_eid, order)``: tentative
+        distances, shortest-path-tree parents (-1 = none), the edge id of
+        each parent link (-1 = none), and the settled vertex indices in
+        settle order. Only settled entries are meaningful; the tree edges
+        of the cluster are ``(parent[v], v)`` over ``order[1:]``.
+        """
+        n = len(self.verts)
+        dist = [INF] * n
+        parent = [-1] * n
+        parent_eid = [-1] * n
+        settled = [False] * n
+        order: List[int] = []
+        if mask is not None and not mask[source]:
+            return dist, parent, parent_eid, order
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        indptr, nbr, wt, eid = self.indptr, self.nbr, self.wt, self.eid
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = pop(heap)
+            if settled[v]:
+                continue
+            settled[v] = True
+            order.append(v)
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if settled[u]:
+                    continue
+                if mask is not None and not mask[u]:
+                    continue
+                nd = d + wt[e]
+                if barrier is not None and nd >= barrier[u]:
+                    continue
+                if nd < dist[u]:
+                    dist[u] = nd
+                    parent[u] = v
+                    parent_eid[u] = eid[e]
+                    push(heap, (nd, u))
+                elif nd == dist[u] and v < parent[u]:
+                    # Canonical tie rule: among tight predecessors the
+                    # smallest vertex index wins. Defined by distances
+                    # alone, so every execution path (dict, list kernel,
+                    # compiled batched SSSP) extracts the same tree.
+                    parent[u] = v
+                    parent_eid[u] = eid[e]
+        return dist, parent, parent_eid, order
+
     def bfs_idx(
         self,
         source: int,
@@ -404,6 +521,43 @@ class CSRGraph:
     def survivor_view(self, alive: Sequence) -> "SurvivorView":
         """O(m) subgraph view ``G \\ J`` for the survivor mask ``alive``."""
         return SurvivorView(self, alive)
+
+    def materialize_edge_ids(self, ids: Iterable[int]) -> BaseGraph:
+        """Spanning subgraph holding exactly the edges in ``ids``.
+
+        The bulk twin of repeated ``add_edge`` calls: all vertices are
+        added, then the adjacency dicts are written directly (one bump of
+        the mutation counter), which matters when a kernel path hands
+        back thousands of chosen edge ids.
+        """
+        g: BaseGraph = DiGraph() if self.directed else Graph()
+        g.add_vertices(self.verts)
+        verts = self.verts
+        edge_u, edge_v, edge_w = self.edge_u, self.edge_v, self.edge_w
+        adj = g._adj
+        count = 0
+        if self.directed:
+            pred = g._pred  # type: ignore[attr-defined]
+            for e in ids:
+                u = verts[edge_u[e]]
+                v = verts[edge_v[e]]
+                w = edge_w[e]
+                if v not in adj[u]:
+                    count += 1
+                adj[u][v] = w
+                pred[v][u] = w
+        else:
+            for e in ids:
+                u = verts[edge_u[e]]
+                v = verts[edge_v[e]]
+                w = edge_w[e]
+                if v not in adj[u]:
+                    count += 1
+                adj[u][v] = w
+                adj[v][u] = w
+        g._num_edges += count
+        g._version += 1
+        return g
 
     # ------------------------------------------------------------------
     # Vertex-space wrappers (used by the paths.py dispatch)
@@ -492,6 +646,215 @@ class SurvivorView:
         for e in self.surviving_edge_ids():
             g.add_edge(verts[csr.edge_u[e]], verts[csr.edge_v[e]], csr.edge_w[e])
         return g
+
+
+def multi_arange(starts, counts):
+    """Vectorized ``concatenate([arange(s, s + c) for s, c in zip(...)])``.
+
+    The standard NumPy "multi-arange" trick; used to gather the incident
+    half-edge slices of a member set in one C pass.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64)
+    out = _np.ones(total, dtype=_np.int64)
+    out[0] = starts[0]
+    boundaries = counts.cumsum()
+    out[boundaries[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return out.cumsum()
+
+
+class SciPyGraphKernels:
+    """Batched shortest-path kernels over one snapshot, compiled via SciPy.
+
+    ``scipy.sparse.csgraph.dijkstra`` runs the same relaxation recurrence
+    as the dict implementations, in C. Each final distance is the minimum
+    over the same set of IEEE-double path sums, so distances are
+    *bit-identical* to the dict Dijkstras — which is what lets the
+    clustering spanners define their outputs distance-locally and stay
+    edge-set-identical across execution paths.
+
+    The snapshot's half-edge structure is reused for every call; variant
+    weight vectors (Johnson-primed levels, fault masks) share the index
+    arrays and only swap the data vector. Fault masking sets the weights
+    of every half-edge incident to a faulted vertex to ``+inf`` — an
+    infinite edge can never lie on a finite shortest path, and SciPy
+    propagates inf exactly like the dict implementations treat absent
+    vertices.
+    """
+
+    __slots__ = ("csr", "base_data", "_indices32", "_indptr32", "_h_src", "_twin", "_in_pos_ptr", "_in_pos")
+
+    def __init__(self, csr: CSRGraph):
+        self.csr = csr
+        indptr, nbr, wt, _eid, _deg = csr.half_arrays_np()
+        # csgraph works on int32 index arrays; convert once, not per call.
+        self._indices32 = nbr.astype(_np.int32)
+        self._indptr32 = indptr.astype(_np.int32)
+        self.base_data = wt
+        self._h_src = None
+        self._twin = None
+        self._in_pos_ptr = None
+        self._in_pos = None
+
+    def matrix(self, data=None):
+        """A csgraph matrix sharing the snapshot's structure.
+
+        ``data`` defaults to the true weights; pass a variant vector
+        (primed weights, fault-masked weights) to reuse the structure.
+        Undirected snapshots store both half-edges, so the matrix is
+        always traversed in directed mode.
+        """
+        n = self.csr.num_vertices
+        return _sp_csr_matrix(
+            (self.base_data if data is None else data, self._indices32, self._indptr32),
+            shape=(n, n),
+        )
+
+    def multi_source(self, sources: Sequence[int], data=None):
+        """Distance to the nearest of ``sources`` as a float array."""
+        return _sp_dijkstra(
+            self.matrix(data), directed=True, indices=list(sources), min_only=True
+        )
+
+    def sssp_rows(self, sources: Sequence[int], limit: float = INF, data=None):
+        """Full SSSP rows for each source; entries beyond ``limit`` are inf."""
+        return _sp_dijkstra(
+            self.matrix(data), directed=True, indices=list(sources), limit=limit
+        )
+
+    def half_sources(self):
+        """Source vertex of each half-edge (``repeat(arange(n), deg)``)."""
+        if self._h_src is None:
+            _indptr, _nbr, _wt, _eid, deg = self.csr.half_arrays_np()
+            self._h_src = _np.repeat(
+                _np.arange(self.csr.num_vertices, dtype=_np.int32), deg
+            )
+        return self._h_src
+
+    def twin_halves(self):
+        """Position of each half-edge's reverse twin (undirected only).
+
+        ``twin[e]`` is the storage position of the opposite half of the
+        same undirected edge; killing or masking an edge becomes two
+        scatter writes into a half-level aliveness array instead of an
+        edge-id gather per phase.
+        """
+        if self._twin is None:
+            _indptr, _nbr, _wt, eid, _deg = self.csr.half_arrays_np()
+            order = _np.argsort(eid, kind="stable")
+            twin = _np.empty(len(order), dtype=_np.int64)
+            twin[order[0::2]] = order[1::2]
+            twin[order[1::2]] = order[0::2]
+            self._twin = twin
+        return self._twin
+
+    def _in_positions(self):
+        """Half-edge positions grouped by *target* vertex (lazy, cached)."""
+        if self._in_pos is None:
+            _indptr, nbr, _wt, _eid, _deg = self.csr.half_arrays_np()
+            self._in_pos = _np.argsort(nbr, kind="stable")
+            counts = _np.bincount(nbr, minlength=self.csr.num_vertices)
+            ptr = _np.zeros(self.csr.num_vertices + 1, dtype=_np.int64)
+            _np.cumsum(counts, out=ptr[1:])
+            self._in_pos_ptr = ptr
+        return self._in_pos_ptr, self._in_pos
+
+    def incident_half_positions(self, vertex_indices: Sequence[int]):
+        """Positions of every half-edge with an endpoint in ``vertex_indices``.
+
+        Writing ``inf`` into a data vector at these positions removes the
+        vertices from the traversal — the survivor-mask operation of the
+        CLPR resampling loop.
+        """
+        indptr, _nbr, _wt, _eid, deg = self.csr.half_arrays_np()
+        faults = _np.asarray(list(vertex_indices), dtype=_np.int64)
+        if faults.size == 0:
+            return _np.empty(0, dtype=_np.int64)
+        out_pos = multi_arange(indptr[faults], deg[faults])
+        in_ptr, in_pos = self._in_positions()
+        rev_pos = multi_arange(in_ptr[faults], in_ptr[faults + 1] - in_ptr[faults])
+        return _np.concatenate([out_pos, in_pos[rev_pos]])
+
+
+class BFSBalls:
+    """Reusable truncated-radius BFS over one :class:`CSRGraph`.
+
+    The padded-decomposition sampler (Lemma 3.7) floods a hop-ball from
+    *every* vertex; allocating a fresh length-n distance array per source
+    would make that O(n²) regardless of ball size. This helper keeps
+    generation-stamped scratch arrays so each :meth:`ball` call costs
+    O(|ball| + edges(ball)) with no clears between calls.
+    """
+
+    __slots__ = ("csr", "_stamp", "_dist", "_gen")
+
+    def __init__(self, csr: CSRGraph):
+        self.csr = csr
+        n = csr.num_vertices
+        self._stamp = [0] * n
+        self._dist = [0] * n
+        self._gen = 0
+
+    def ball(self, source: int, radius: int) -> List[int]:
+        """Vertex indices within ``radius`` hops of ``source``, in BFS order.
+
+        Always contains ``source`` itself (radius 0 is the singleton).
+        """
+        self._gen += 1
+        gen = self._gen
+        stamp, dist = self._stamp, self._dist
+        stamp[source] = gen
+        dist[source] = 0
+        members = [source]
+        if radius <= 0:
+            return members
+        csr = self.csr
+        indptr, nbr = csr.indptr, csr.nbr
+        head = 0
+        while head < len(members):
+            v = members[head]
+            head += 1
+            d = dist[v]
+            if d >= radius:
+                continue
+            for e in range(indptr[v], indptr[v + 1]):
+                u = nbr[e]
+                if stamp[u] != gen:
+                    stamp[u] = gen
+                    dist[u] = d + 1
+                    members.append(u)
+        return members
+
+
+# ---------------------------------------------------------------------------
+# Method dispatch
+# ---------------------------------------------------------------------------
+
+#: The accepted values of the ``method=`` kwarg shared by the spanner /
+#: decomposition constructors (greedy, Thorup–Zwick, Baswana–Sen, the CLPR
+#: baseline, and the padded-decomposition sampler).
+METHODS = ("auto", "csr", "dict")
+
+
+def resolve_method(method: str, num_vertices: int) -> str:
+    """The one dispatch rule behind every ``method="auto"|"csr"|"dict"`` kwarg.
+
+    * ``"dict"`` — always run the reference dict-of-dict implementation.
+    * ``"csr"`` — always run the CSR fast path (even on tiny graphs).
+    * ``"auto"`` — the CSR path iff the graph has at least
+      :data:`MIN_DISPATCH_VERTICES` vertices; below that the snapshot
+      overhead dominates and the dict implementations win.
+
+    Both paths of every algorithm are pinned output-identical (same RNG
+    stream, same edge sets / cluster assignments) by the property tests in
+    ``tests/test_algorithms_csr.py``, so the choice is performance-only.
+    """
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    if method == "auto":
+        return "csr" if num_vertices >= MIN_DISPATCH_VERTICES else "dict"
+    return method
 
 
 # ---------------------------------------------------------------------------

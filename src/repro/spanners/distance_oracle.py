@@ -21,50 +21,44 @@ Query(u, v): walk the levels, alternating sides — ``w = p_i(u)``; if
 and move up a level. Termination at level ``t - 1`` is guaranteed because
 ``A_{t-1} ⊆ B(x)`` for every ``x``; the standard induction gives
 ``d(u, w) <= i · d(u, v)`` at level ``i``, hence stretch ``2t - 1``.
+
+Execution paths mirror :mod:`repro.spanners.thorup_zwick`: the
+``method="csr"`` path runs the witness passes on the labeled multi-source
+Dijkstra kernel and the bunch (cluster) searches on the compiled
+Johnson-primed limited SSSP, recovering original-space distances with the
+same float expression on both paths — so a fixed seed yields identical
+witnesses and identical bunch dictionaries either way, and the RNG is
+consumed in host vertex order (reproducible across processes).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..errors import InvalidStretch
+from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import BaseGraph
 from ..rng import RandomLike, ensure_rng
-from .thorup_zwick import _multi_source_distances, sample_hierarchy
+from .thorup_zwick import (
+    _CHUNK,
+    _cluster_dists_dict,
+    _level_centers,
+    _multi_source_distances,
+    _vertex_order,
+    sample_hierarchy,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    _np = None
 
 Vertex = Hashable
 
 INF = math.inf
-
-
-def _cluster_distances(
-    graph: BaseGraph, center: Vertex, barrier: Dict[Vertex, float]
-) -> Dict[Vertex, float]:
-    """Distances from ``center`` to its TZ cluster (truncated Dijkstra)."""
-    import heapq
-
-    dist: Dict[Vertex, float] = {}
-    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, center)]
-    counter = 1
-    while heap:
-        d, _, v = heapq.heappop(heap)
-        if v in dist:
-            continue
-        dist[v] = d
-        items = (
-            graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
-        )
-        for u, w in items:
-            if u in dist:
-                continue
-            nd = d + w
-            if nd >= barrier.get(u, INF):
-                continue
-            heapq.heappush(heap, (nd, counter, u))
-            counter += 1
-    return dist
 
 
 @dataclass
@@ -112,13 +106,152 @@ class DistanceOracle:
         return d_uw + self.bunches[v][w]
 
 
+def _multi_source_witnesses(
+    graph: BaseGraph, sources: Set[Vertex]
+) -> Dict[Vertex, Tuple[Vertex, float]]:
+    """For each vertex, its nearest source and the distance to it.
+
+    Heap keys, source seeding order, and the strict-improvement owner
+    update mirror :meth:`repro.graph.csr.CSRGraph.multi_source_dijkstra_idx`
+    exactly, so the dict and CSR paths return identical witnesses.
+    """
+    order = _vertex_order(graph)
+    out: Dict[Vertex, Tuple[Vertex, float]] = {}
+    best: Dict[Vertex, float] = {}
+    own: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[float, int, Vertex]] = []
+    for s in sorted(sources, key=order.__getitem__):
+        best[s] = 0.0
+        own[s] = s
+        heap.append((0.0, order[s], s))
+    heapq.heapify(heap)
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in out:
+            continue
+        out[v] = (own[v], d)
+        items = graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
+        for u, w in items:
+            if u in out:
+                continue
+            nd = d + w
+            if nd < best.get(u, INF):
+                best[u] = nd
+                own[u] = own[v]
+                heapq.heappush(heap, (nd, order[u], u))
+    return out
+
+
+def _build_oracle_dict(
+    graph: BaseGraph, t: int, vertices: List[Vertex], levels
+) -> DistanceOracle:
+    """Reference dict-of-dict preprocessing."""
+    order = _vertex_order(graph)
+    witnesses: List[Dict[Vertex, Tuple[Vertex, float]]] = [
+        _multi_source_witnesses(graph, levels[i]) if levels[i] else {}
+        for i in range(t)
+    ]
+    bunches: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in vertices}
+    n = graph.num_vertices
+    for i in range(t):
+        phi = _multi_source_distances(graph, levels[i + 1]) if levels[i + 1] else None
+        primed = phi is not None and len(phi) == n
+        for w in _level_centers(vertices, levels, i):
+            dist = _cluster_dists_dict(graph, order, w, phi, primed)
+            if primed:
+                pw = phi[w]
+                for v, dv in dist.items():
+                    bunches[v][w] = (dv - pw) + phi[v]
+            else:
+                for v, dv in dist.items():
+                    bunches[v][w] = dv
+    return DistanceOracle(t=t, witnesses=witnesses, bunches=bunches)
+
+
+def _build_oracle_csr(
+    graph: BaseGraph, t: int, vertices: List[Vertex], levels
+) -> DistanceOracle:
+    """CSR path: kernel witness passes + compiled batched bunch searches."""
+    np = _np
+    snap = snapshot(graph)
+    kernels = snap.scipy_kernels()
+    index = snap.index
+    verts = snap.verts
+    witnesses: List[Dict[Vertex, Tuple[Vertex, float]]] = []
+    for i in range(t):
+        if not levels[i]:
+            witnesses.append({})
+            continue
+        sources = sorted(index[v] for v in levels[i])
+        dist, owner = snap.multi_source_dijkstra_idx(sources)
+        witnesses.append(
+            {
+                verts[j]: (verts[owner[j]], dist[j])
+                for j in range(len(verts))
+                if owner[j] >= 0
+            }
+        )
+    bunches: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in vertices}
+    _indptr, nbr, wt, _eid, _deg = snap.half_arrays_np()
+    for i in range(t):
+        phi_np = None
+        if levels[i + 1]:
+            phi_np = kernels.multi_source(sorted(index[v] for v in levels[i + 1]))
+        centers = [index[w] for w in _level_centers(vertices, levels, i)]
+        if not centers:
+            continue
+        primed = phi_np is not None and bool(np.isfinite(phi_np).all())
+        if primed:
+            h_src = kernels.half_sources()
+            data = (wt + phi_np[h_src]) - phi_np[nbr]
+            radii = phi_np[centers]
+            by_radius = sorted(range(len(centers)), key=lambda k: (radii[k], k))
+            batches = [
+                [centers[k] for k in by_radius[lo : lo + _CHUNK]]
+                for lo in range(0, len(by_radius), _CHUNK)
+            ]
+        else:
+            data = None
+            batches = [centers]
+        for batch in batches:
+            if primed:
+                limit = float(phi_np[batch].max())
+                rows = kernels.sssp_rows(batch, limit=limit, data=data)
+            else:
+                rows = kernels.sssp_rows(batch)
+            for k, c in enumerate(batch):
+                dist = rows[k]
+                if primed:
+                    members = dist < phi_np[c]
+                elif phi_np is not None:
+                    members = dist < phi_np
+                else:
+                    members = np.isfinite(dist)
+                midx = np.nonzero(members)[0]
+                if primed:
+                    vals = (dist[midx] - phi_np[c]) + phi_np[midx]
+                else:
+                    vals = dist[midx]
+                w = verts[c]
+                for j, dv in zip(midx.tolist(), vals.tolist()):
+                    bunches[verts[j]][w] = dv
+    return DistanceOracle(t=t, witnesses=witnesses, bunches=bunches)
+
+
 def build_distance_oracle(
     graph: BaseGraph,
     t: int,
     seed: RandomLike = None,
     sample_probability: Optional[float] = None,
+    *,
+    method: str = "auto",
 ) -> DistanceOracle:
-    """Preprocess a TZ distance oracle of stretch ``2t - 1``."""
+    """Preprocess a TZ distance oracle of stretch ``2t - 1``.
+
+    ``method`` follows :func:`repro.graph.csr.resolve_method`; both paths
+    build identical oracles for a fixed seed (directed graphs and
+    kernel-less environments always take the dict path).
+    """
     if t < 1:
         raise InvalidStretch(f"hierarchy depth t must be >= 1, got {t}")
     rng = ensure_rng(seed)
@@ -131,47 +264,9 @@ def build_distance_oracle(
         pick = rng.choice(vertices)
         for i in range(1, t):
             levels[i].add(pick)
-
-    witnesses: List[Dict[Vertex, Tuple[Vertex, float]]] = [
-        _multi_source_witnesses(graph, levels[i]) if levels[i] else {}
-        for i in range(t)
-    ]
-
-    bunches: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in vertices}
-    for i in range(t):
-        next_dist = (
-            _multi_source_distances(graph, levels[i + 1]) if levels[i + 1] else {}
-        )
-        for w in levels[i] - levels[i + 1]:
-            cluster = _cluster_distances(graph, w, next_dist)
-            for v, d in cluster.items():
-                bunches[v][w] = d
-    return DistanceOracle(t=t, witnesses=witnesses, bunches=bunches)
-
-
-def _multi_source_witnesses(
-    graph: BaseGraph, sources: Set[Vertex]
-) -> Dict[Vertex, Tuple[Vertex, float]]:
-    """For each vertex, its nearest source and the distance to it."""
-    import heapq
-
-    out: Dict[Vertex, Tuple[Vertex, float]] = {}
-    heap: List[Tuple[float, int, Vertex, Vertex]] = []
-    counter = 0
-    for s in sources:
-        heap.append((0.0, counter, s, s))
-        counter += 1
-    heapq.heapify(heap)
-    while heap:
-        d, _, v, source = heapq.heappop(heap)
-        if v in out:
-            continue
-        out[v] = (source, d)
-        items = (
-            graph.successor_items(v) if graph.directed else graph.neighbor_items(v)
-        )
-        for u, w in items:
-            if u not in out:
-                heapq.heappush(heap, (d + w, counter, u, source))
-                counter += 1
-    return out
+    resolved = resolve_method(method, graph.num_vertices)
+    if resolved == "csr" and not graph.directed and vertices:
+        snap = snapshot(graph)
+        if snap.scipy_kernels() is not None:
+            return _build_oracle_csr(graph, t, vertices, levels)
+    return _build_oracle_dict(graph, t, vertices, levels)

@@ -219,9 +219,22 @@ def _greedy_indexed(
     return spanner
 
 
-def _check_method(method: str) -> None:
-    if method not in ("indexed", "dict"):
-        raise ValueError(f"method must be 'indexed' or 'dict', got {method!r}")
+def _check_method(method: str) -> str:
+    """Normalize the shared ``method`` kwarg for the greedy entry points.
+
+    Accepts the unified ``"auto"|"csr"|"dict"`` vocabulary of
+    :func:`repro.graph.csr.resolve_method` plus the historical
+    ``"indexed"`` alias. The greedy kernel has no snapshot overhead (it
+    indexes once and never builds a CSR), so ``auto`` and ``csr`` both
+    resolve to the indexed kernel at every size.
+    """
+    if method in ("indexed", "auto", "csr"):
+        return "indexed"
+    if method == "dict":
+        return "dict"
+    raise ValueError(
+        f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+    )
 
 
 def _greedy_dict(graph: BaseGraph, k: float, max_edges: Optional[int]) -> BaseGraph:
@@ -248,7 +261,9 @@ def greedy_spanner(graph: BaseGraph, k: float, *, method: str = "indexed") -> Ba
     k:
         Stretch bound, ``k >= 1``.
     method:
-        ``"indexed"`` (default) runs on the flat-array kernel;
+        ``"indexed"`` (default; ``"auto"`` and ``"csr"`` are accepted
+        aliases — see :func:`repro.graph.csr.resolve_method` for the
+        shared vocabulary) runs on the flat-array kernel;
         ``"dict"`` forces the original dict-graph implementation. Both
         produce the same spanner: edge ties are broken by the same
         stable sort, and the keep/skip decisions agree — exactly on
@@ -265,8 +280,7 @@ def greedy_spanner(graph: BaseGraph, k: float, *, method: str = "indexed") -> Ba
     """
     if k < 1:
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
-    _check_method(method)
-    if method == "dict":
+    if _check_method(method) == "dict":
         return _greedy_dict(graph, k, None)
     return _greedy_indexed(graph, k, None)
 
@@ -284,7 +298,6 @@ def greedy_spanner_size_first(
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
     if max_edges < 0:
         raise ValueError(f"max_edges must be nonnegative, got {max_edges}")
-    _check_method(method)
-    if method == "dict":
+    if _check_method(method) == "dict":
         return _greedy_dict(graph, k, max_edges)
     return _greedy_indexed(graph, k, max_edges)
