@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from conftest import run_once
 
+from repro import FaultModel, Session, SpannerSpec
 from repro.analysis import print_table, sampled_stretch_profile
-from repro.core import fault_tolerant_spanner
 from repro.graph import complete_graph
 
 N = 60
@@ -42,24 +42,34 @@ def sweep():
         ("maximizer 2/(r+2)", 2.0 / (R + 2)),
         ("naive 1/2", 0.5),
     ]
-    rows = []
-    for label, p_survive in settings:
-        result = fault_tolerant_spanner(
-            graph, K, R, iterations=ITERATIONS, seed=11, survival_prob=p_survive
+    # One Session, three specs differing only in the ablated knob — the
+    # per-iteration accounting comes back in each BuildReport's stats.
+    session = Session()
+    specs = [
+        SpannerSpec(
+            "theorem21",
+            stretch=K,
+            faults=FaultModel.vertex(R),
+            seed=11,
+            params={"iterations": ITERATIONS, "survival_prob": p_survive},
         )
-        stats = result.stats
+        for _label, p_survive in settings
+    ]
+    reports = session.build_many(specs, graph=graph)
+    rows = []
+    for (label, p_survive), report in zip(settings, reports):
+        survivor_sizes = report.stats["survivor_sizes"]
+        contributions = report.stats["iteration_edge_counts"]
         profile = sampled_stretch_profile(
-            result.spanner, graph, R, trials=TRIALS, seed=12
+            report.spanner, graph, R, trials=TRIALS, seed=12
         )
         rows.append(
             {
                 "label": label,
                 "p": p_survive,
-                "mean_survivor": sum(stats.survivor_sizes)
-                / len(stats.survivor_sizes),
-                "mean_contribution": sum(stats.iteration_edge_counts)
-                / len(stats.iteration_edge_counts),
-                "union": result.num_edges,
+                "mean_survivor": sum(survivor_sizes) / len(survivor_sizes),
+                "mean_contribution": sum(contributions) / len(contributions),
+                "union": report.size,
                 "ok_fraction": profile.fraction_within(K),
                 "worst": profile.max,
             }

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from conftest import run_once
 
+from repro import FaultModel, Session, SpannerSpec
 from repro.analysis import print_table
-from repro.core import clpr_fault_tolerant_spanner, fault_tolerant_spanner
 from repro.graph import complete_graph
 from repro.spanners import clpr_ft_size_bound, conversion_size_bound
 
@@ -36,19 +36,35 @@ R_VALUES = [1, 2, 3, 4, 5]
 
 
 def sweep():
+    # The whole sweep runs through one Session: every build shares the
+    # single CSR snapshot of K_N (the specs also serialize to JSON, so
+    # this sweep shards into `repro run` invocations unchanged).
     graph = complete_graph(N)
-    rows = []
-    clpr_exact_size = clpr_fault_tolerant_spanner(graph, 2, 1, seed=0).num_edges
-    for r in R_VALUES:
-        result = fault_tolerant_spanner(
-            graph, K, r, schedule="light", constant=1.0, seed=r
+    session = Session()
+    clpr_exact_size = session.build(
+        SpannerSpec("clpr09", stretch=K, faults=FaultModel.vertex(1), seed=0),
+        graph=graph,
+    ).size
+    specs = [
+        SpannerSpec(
+            "theorem21",
+            stretch=K,
+            faults=FaultModel.vertex(r),
+            seed=r,
+            params={"schedule": "light", "constant": 1.0},
         )
+        for r in R_VALUES
+    ]
+    reports = session.build_many(specs, graph=graph)
+    assert session.snapshot_builds <= 1  # the batch reused one snapshot
+    rows = []
+    for r, report in zip(R_VALUES, reports):
         rows.append(
             {
                 "r": r,
-                "conv_size": result.num_edges,
-                "conv_iters": result.stats.iterations,
-                "max_survivor": result.stats.max_survivor_size,
+                "conv_size": report.size,
+                "conv_iters": report.stats["iterations"],
+                "max_survivor": report.stats["max_survivor_size"],
                 "conv_bound": conversion_size_bound(N, K, r),
                 "clpr_exact": clpr_exact_size if r == 1 else float("nan"),
                 "clpr_bound": clpr_ft_size_bound(N, 2, r),

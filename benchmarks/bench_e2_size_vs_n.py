@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.analysis import log_log_slope, print_table
-from repro.core import fault_tolerant_spanner
+from repro import FaultModel, Session, SpannerSpec
 from repro.graph import gnp_random_graph
+from repro.analysis import log_log_slope, print_table
 from repro.spanners import conversion_size_bound
 
 NS = [60, 90, 140, 200]
@@ -28,16 +28,25 @@ R = 2
 
 
 def sweep():
+    # Each spec binds its own host instance; one Session executes the
+    # whole grid (the graph-bound spec list is exactly the shape a
+    # sharded driver would serialize, one JSON spec per shard).
+    hosts = {n: gnp_random_graph(n, 0.5, seed=n) for n in NS}
+    session = Session()
     data = {}
     for k in (3, 5):
-        sizes = []
-        for n in NS:
-            graph = gnp_random_graph(n, 0.5, seed=n)
-            result = fault_tolerant_spanner(
-                graph, k, R, schedule="light", constant=1.0, seed=n + k
+        specs = [
+            SpannerSpec(
+                "theorem21",
+                stretch=k,
+                faults=FaultModel.vertex(R),
+                seed=n + k,
+                params={"schedule": "light", "constant": 1.0},
+                graph=hosts[n],
             )
-            sizes.append(result.num_edges)
-        data[k] = sizes
+            for n in NS
+        ]
+        data[k] = [report.size for report in session.build_many(specs)]
     return data
 
 

@@ -25,9 +25,8 @@ import math
 
 from conftest import run_once
 
+from repro import FaultModel, Session, SpannerSpec
 from repro.analysis import print_table
-from repro.core import is_ft_2spanner, sampled_fault_check
-from repro.distributed import distributed_ft2_spanner, distributed_ft_spanner
 from repro.graph import connected_gnp_graph, gnp_random_digraph
 from repro.two_spanner import solve_ft2_lp
 
@@ -36,35 +35,53 @@ R = 1
 
 
 def sweep():
+    # Both sweeps run through one Session; round/cost accounting arrives
+    # in the BuildReport stats, and validity goes through Session.verify.
+    session = Session()
     alg2_rows = []
     for n in NS:
         graph = gnp_random_digraph(n, 0.5, seed=n)
-        result = distributed_ft2_spanner(graph, R, seed=n + 1)
+        report = session.build(
+            SpannerSpec(
+                "distributed-ft2", stretch=2,
+                faults=FaultModel.vertex(R), seed=n + 1,
+            ),
+            graph=graph,
+        )
         central = solve_ft2_lp(graph, R).objective
-        assert is_ft_2spanner(result.spanner, graph, R)
+        assert session.verify(report, graph=graph, mode="lemma31")
         alg2_rows.append(
             {
                 "n": n,
-                "rounds": result.total_rounds,
-                "normalized": result.total_rounds / math.log(n) ** 2,
-                "iterations": result.lp.iterations,
-                "cost": result.cost,
+                "rounds": report.stats["total_rounds"],
+                "normalized": report.stats["total_rounds"] / math.log(n) ** 2,
+                "iterations": report.stats["lp_iterations"],
+                "cost": report.stats["cost"],
                 "lp": central,
-                "ratio": result.cost / central,
+                "ratio": report.stats["cost"] / central,
             }
         )
 
-    conv_rows = []
     comm = connected_gnp_graph(26, 0.3, seed=50)
-    for iterations in (6, 12, 24):
-        ft = distributed_ft_spanner(comm, k=2, r=R, iterations=iterations, seed=51)
-        assert sampled_fault_check(ft.spanner, comm, 3, R, trials=30, seed=52)
+    conv_specs = [
+        SpannerSpec(
+            "distributed-ft", stretch=3, faults=FaultModel.vertex(R),
+            seed=51, params={"iterations": iterations},
+        )
+        for iterations in (6, 12, 24)
+    ]
+    conv_rows = []
+    for spec, report in zip(conv_specs, session.build_many(conv_specs, graph=comm)):
+        iterations = spec.param("iterations")
+        assert session.verify(
+            report, graph=comm, mode="sampled", trials=30, seed=52
+        )
         conv_rows.append(
             {
                 "iterations": iterations,
-                "rounds": ft.total_rounds,
-                "per_iteration": ft.total_rounds / iterations,
-                "edges": ft.num_edges,
+                "rounds": report.stats["total_rounds"],
+                "per_iteration": report.stats["total_rounds"] / iterations,
+                "edges": report.size,
             }
         )
     return alg2_rows, conv_rows

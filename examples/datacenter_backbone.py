@@ -23,12 +23,12 @@ import math
 import random
 
 from repro import (
+    Session,
+    SpannerSpec,
     fault_tolerant_spanner_until_valid,
-    is_fault_tolerant_spanner,
 )
 from repro.analysis import print_table, sampled_stretch_profile
 from repro.graph import Graph
-from repro.spanners import greedy_spanner
 
 
 def build_fabric(
@@ -75,7 +75,11 @@ def main() -> None:
         batch=8,
         seed=8,
     )
-    plain = greedy_spanner(fabric, 3)
+    # The no-fault-tolerance strawman goes through the typed front door
+    # (same fabric, so it reuses the CSR snapshot the adaptive loop built).
+    plain = Session().build(
+        SpannerSpec("greedy", stretch=3), graph=fabric
+    ).spanner
 
     rows = []
     for name, overlay in [("ft-backbone", ft.spanner), ("plain greedy", plain)]:

@@ -21,12 +21,10 @@ from __future__ import annotations
 
 import math
 
+from repro import FaultModel, Session, SpannerSpec
 from repro.analysis import print_table
-from repro.core import is_ft_2spanner, sampled_fault_check
 from repro.distributed import (
     distributed_baswana_sen,
-    distributed_ft2_spanner,
-    distributed_ft_spanner,
     distributed_padded_decomposition,
 )
 from repro.graph import connected_gnp_graph, gnp_random_digraph, grid_graph
@@ -48,13 +46,23 @@ def main() -> None:
         ]
     )
 
-    ft = distributed_ft_spanner(comm, k=2, r=1, seed=3)
+    # The fault-tolerant pipelines run through the typed front door: the
+    # registry's "distributed-ft" / "distributed-ft2" entries drive the
+    # same LOCAL simulator, with round counts in the report stats.
+    session = Session()
+    ft = session.build(
+        SpannerSpec(
+            "distributed-ft", stretch=3, faults=FaultModel.vertex(1), seed=3
+        ),
+        graph=comm,
+    )
     rows.append(
         [
             "Theorem 2.3 conversion (r=1)",
-            ft.total_rounds,
-            f"{ft.num_edges} edges, {ft.iterations} iterations",
-            sampled_fault_check(ft.spanner, comm, 3, 1, trials=40, seed=4),
+            ft.stats["total_rounds"],
+            f"{ft.size} edges, {ft.stats['iterations']} iterations",
+            session.verify(report=ft, graph=comm, mode="sampled",
+                           trials=40, seed=4),
         ]
     )
 
@@ -82,13 +90,19 @@ def main() -> None:
     )
 
     mesh = gnp_random_digraph(12, 0.5, seed=6)
-    alg2 = distributed_ft2_spanner(mesh, r=1, seed=7)
+    alg2 = session.build(
+        SpannerSpec(
+            "distributed-ft2", stretch=2, faults=FaultModel.vertex(1), seed=7
+        ),
+        graph=mesh,
+    )
     rows.append(
         [
             "Algorithm 2 (Theorem 3.9, r=1)",
-            alg2.total_rounds,
-            f"cost {alg2.cost:.0f}, LP cost {alg2.lp.lp_cost:.1f}",
-            is_ft_2spanner(alg2.spanner, mesh, 1),
+            alg2.stats["total_rounds"],
+            f"cost {alg2.stats['cost']:.0f}, "
+            f"LP cost {alg2.stats['lp_cost']:.1f}",
+            session.verify(report=alg2, graph=mesh, mode="lemma31"),
         ]
     )
 

@@ -8,8 +8,9 @@ tolerates any ``r`` simultaneous link cuts:
 
 1. generate a random-geometric "fiber map" (nodes = POPs, edges = fibers
    with Euclidean lengths);
-2. build an r-edge-fault-tolerant 3-spanner with the edge-fault
-   conversion;
+2. build an r-edge-fault-tolerant 3-spanner through the typed front door
+   (``SpannerSpec`` with ``FaultModel.edge(r)`` → the registry's
+   ``theorem21-edge`` pipeline);
 3. verify exhaustively against every set of up to r cut links, and show
    the Lemma 3.1-analogue check on a directed unit-length variant.
 
@@ -18,15 +19,10 @@ Run:  python examples/link_failures.py
 
 from __future__ import annotations
 
+from repro import FaultModel, Session, SpannerSpec
 from repro.analysis import print_table
-from repro.core import (
-    edge_fault_tolerant_spanner,
-    is_edge_fault_tolerant_spanner,
-    is_edge_ft_2spanner,
-    sampled_edge_fault_check,
-)
+from repro.core import is_edge_ft_2spanner
 from repro.graph import gnp_random_digraph, random_geometric_graph
-from repro.two_spanner import approximate_ft2_spanner
 
 
 def main() -> None:
@@ -34,17 +30,23 @@ def main() -> None:
     fibers = random_geometric_graph(22, 0.45, seed=12)
     print(f"fiber map: n={fibers.num_vertices} POPs, m={fibers.num_edges} links")
 
-    overlay = edge_fault_tolerant_spanner(fibers, k=3, r=r, seed=13)
-    exhaustive = is_edge_fault_tolerant_spanner(overlay.spanner, fibers, 3, r)
-    sampled = sampled_edge_fault_check(
-        overlay.spanner, fibers, 3, r, trials=100, seed=14
+    session = Session()
+    overlay = session.build(
+        SpannerSpec(
+            "theorem21-edge", stretch=3, faults=FaultModel.edge(r), seed=13
+        ),
+        graph=fibers,
+    )
+    exhaustive = session.verify(overlay, graph=fibers, mode="exhaustive")
+    sampled = session.verify(
+        overlay, graph=fibers, mode="sampled", trials=100, seed=14
     )
     print_table(
         ["quantity", "value"],
         [
-            ["overlay links", overlay.num_edges],
-            ["of fiber map", f"{100 * overlay.num_edges / fibers.num_edges:.0f}%"],
-            ["oversampling iterations", overlay.stats.iterations],
+            ["overlay links", overlay.size],
+            ["of fiber map", f"{100 * overlay.size / fibers.num_edges:.0f}%"],
+            ["oversampling iterations", overlay.stats["iterations"]],
             [f"exhaustive over all <= {r} link cuts", exhaustive],
             ["sampled check (100 trials)", sampled],
         ],
@@ -54,10 +56,15 @@ def main() -> None:
     # The k = 2 story: the Lemma 3.1 analogue applies unchanged to link
     # failures, so the Theorem 3.3 pipeline gives link-cut tolerance too.
     mesh = gnp_random_digraph(12, 0.5, seed=15)
-    result = approximate_ft2_spanner(mesh, r=2, seed=16)
+    result = session.build(
+        SpannerSpec(
+            "ft2-approx", stretch=2, faults=FaultModel.vertex(2), seed=16
+        ),
+        graph=mesh,
+    )
     print(
         "directed mesh, r=2 via Theorem 3.3: cost "
-        f"{result.cost:.0f} (LP {result.lp_objective:.1f}); "
+        f"{result.stats['cost']:.0f} (LP {result.stats['lp_objective']:.1f}); "
         f"edge-fault valid: {is_edge_ft_2spanner(result.spanner, mesh, 2)}"
     )
 

@@ -5,19 +5,26 @@ Builds an r-fault-tolerant 3-spanner of a dense random graph with the
 paper's Theorem 2.1 conversion, verifies it exhaustively against every
 fault set of size <= r, and prints the headline numbers.
 
-Two modes of the conversion are shown:
+The build goes through the typed front door: a
+:class:`repro.spec.SpannerSpec` says *what* to build (algorithm, stretch
+budget, fault model, seed) and a :class:`repro.session.Session` executes
+it. Two modes of the conversion are shown:
 
 * the *theorem schedule* (``α = C r³ ln n`` iterations) — what the proof
   uses; at laptop scale its union saturates toward the host graph, which
   is exactly what the asymptotic bound permits at small n;
 * the *adaptive* mode — iterate until an exhaustive verifier accepts,
-  which reveals how few iterations suffice in practice.
+  which reveals how few iterations suffice in practice
+  (:func:`repro.core.fault_tolerant_spanner_until_valid`, the one loop
+  that needs a live validity callback and therefore stays a function).
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    fault_tolerant_spanner,
+    FaultModel,
+    Session,
+    SpannerSpec,
     fault_tolerant_spanner_until_valid,
     is_fault_tolerant_spanner,
 )
@@ -30,6 +37,12 @@ def main() -> None:
     graph = connected_gnp_graph(26, 0.55, seed=0)
     print(f"host graph: n={graph.num_vertices}, m={graph.num_edges}")
 
+    session = Session()
+    spec = SpannerSpec(
+        "theorem21", stretch=k, faults=FaultModel.vertex(r), seed=1
+    )
+    theorem = session.build(spec, graph=graph)
+
     adaptive = fault_tolerant_spanner_until_valid(
         graph,
         k,
@@ -38,23 +51,23 @@ def main() -> None:
         batch=8,
         seed=1,
     )
-    theorem = fault_tolerant_spanner(graph, k=k, r=r, seed=1)
 
     profile = exhaustive_stretch_profile(adaptive.spanner, graph, r)
     print_table(
         ["quantity", "adaptive", "theorem schedule"],
         [
-            ["iterations", adaptive.stats.iterations, theorem.stats.iterations],
-            ["spanner edges", adaptive.num_edges, theorem.num_edges],
+            ["iterations", adaptive.stats.iterations,
+             theorem.stats["iterations"]],
+            ["spanner edges", adaptive.num_edges, theorem.size],
             [
                 "edges kept (%)",
                 100.0 * adaptive.num_edges / graph.num_edges,
-                100.0 * theorem.num_edges / graph.num_edges,
+                100.0 * theorem.size / graph.num_edges,
             ],
             [
                 "exhaustively valid",
                 True,  # by construction of the adaptive loop
-                is_fault_tolerant_spanner(theorem.spanner, graph, k, r),
+                session.verify(theorem, graph=graph, mode="exhaustive"),
             ],
         ],
         title=f"r={r} fault-tolerant {k}-spanner (Theorem 2.1 conversion)",
@@ -62,6 +75,10 @@ def main() -> None:
     print(
         f"worst stretch of the adaptive spanner over all "
         f"{len(profile.samples)} fault sets: {profile.max:.2f} (budget {k})"
+    )
+    print(
+        "replay this exact build anywhere:  spec.save('spec.json');  "
+        "python -m repro run spec.json"
     )
 
 

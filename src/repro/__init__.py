@@ -14,14 +14,24 @@ Spanners: Better and Simpler* (PODC 2011):
 * :mod:`repro.graph`, :mod:`repro.spanners`, :mod:`repro.lp`,
   :mod:`repro.analysis` — the substrates everything is built on.
 
+The typed front door (see README.md) is the spec/registry/session
+triple: :class:`repro.spec.SpannerSpec` describes *what* to build,
+:mod:`repro.registry` knows *who* can build it, and
+:class:`repro.session.Session` executes with shared RNG streams and CSR
+snapshot reuse. The loose top-level functions below remain supported
+thin entry points onto the same algorithms.
+
 Quickstart::
 
-    from repro import fault_tolerant_spanner, is_fault_tolerant_spanner
+    from repro import FaultModel, Session, SpannerSpec
     from repro.graph import connected_gnp_graph
 
     g = connected_gnp_graph(60, 0.2, seed=0)
-    result = fault_tolerant_spanner(g, k=3, r=2, seed=1)
-    assert is_fault_tolerant_spanner(result.spanner, g, k=3, r=2)
+    session = Session()
+    spec = SpannerSpec("theorem21", stretch=3,
+                       faults=FaultModel.vertex(2), seed=1)
+    report = session.build(spec, graph=g)
+    assert session.verify(report, graph=g, mode="sampled")
 """
 
 from .core import (
@@ -38,9 +48,18 @@ from .distributed import (
     distributed_padded_decomposition,
     sample_padded_decomposition,
 )
-from .errors import ReproError
+from .errors import InvalidSpec, ReproError, SpecError, UnknownAlgorithm
 from .graph import DiGraph, Graph
+from .registry import (
+    AlgorithmInfo,
+    available_algorithms,
+    describe_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from .session import Session
 from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
+from .spec import BuildReport, FaultModel, SpannerSpec
 from .two_spanner import (
     approximate_ft2_spanner,
     dk10_baseline,
@@ -52,12 +71,22 @@ from .two_spanner import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmInfo",
+    "BuildReport",
     "DiGraph",
+    "FaultModel",
     "Graph",
+    "InvalidSpec",
     "ReproError",
+    "Session",
+    "SpannerSpec",
+    "SpecError",
+    "UnknownAlgorithm",
     "approximate_ft2_spanner",
+    "available_algorithms",
     "baswana_sen_spanner",
     "clpr_fault_tolerant_spanner",
+    "describe_algorithms",
     "distributed_ft2_spanner",
     "distributed_ft_spanner",
     "distributed_padded_decomposition",
@@ -65,10 +94,12 @@ __all__ = [
     "exact_minimum_ft2_spanner",
     "fault_tolerant_spanner",
     "fault_tolerant_spanner_until_valid",
+    "get_algorithm",
     "greedy_spanner",
     "is_fault_tolerant_spanner",
     "is_ft_2spanner",
     "moser_tardos_rounding",
+    "register_algorithm",
     "sample_padded_decomposition",
     "sampled_fault_check",
     "solve_ft2_lp",

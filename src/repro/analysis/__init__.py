@@ -5,6 +5,7 @@ from .experiments import (
     TrialFunction,
     compare_experiments,
     run_experiment,
+    run_spec_sweep,
 )
 
 from .stats import Summary, geometric_mean, growth_ratios, log_log_slope, summarize
@@ -30,6 +31,7 @@ __all__ = [
     "print_table",
     "render_table",
     "run_experiment",
+    "run_spec_sweep",
     "sampled_stretch_profile",
     "stretch_after_faults",
     "summarize",

@@ -4,15 +4,37 @@ Randomized algorithms need multi-seed aggregation before their numbers
 mean anything; this module gives benchmarks and notebooks a uniform way to
 run ``trial(seed) -> {metric: value}`` functions across seeds and collect
 per-metric summaries, without each experiment re-inventing the loop.
+
+The typed counterpart is :func:`run_spec_sweep`: a list of
+:class:`repro.spec.SpannerSpec` values executed through one
+:class:`repro.session.Session` (so the sweep shares CSR snapshots and
+derived RNG streams), with every report's numeric stats collected as
+metrics. The E-suite benchmarks ride it; because specs serialize to
+JSON, the same sweep splits into shards runnable by ``repro run``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .stats import Summary, summarize
 from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph.graph import BaseGraph
+    from ..session import Session
+    from ..spec import BuildReport, SpannerSpec
 
 #: A trial: seed in, named metrics out.
 TrialFunction = Callable[[int], Mapping[str, float]]
@@ -87,6 +109,57 @@ def run_experiment(
         result.records.append(record)
         result.seeds.append(seed)
     return result
+
+
+def run_spec_sweep(
+    name: str,
+    specs: Sequence["SpannerSpec"],
+    graph: Optional["BaseGraph"] = None,
+    session: Optional["Session"] = None,
+    metrics: Optional[Callable[["BuildReport"], Mapping[str, float]]] = None,
+    on_error: str = "raise",
+) -> Tuple[ExperimentResult, List["BuildReport"]]:
+    """Execute a spec list through one session; collect metrics + reports.
+
+    Every report contributes a record with ``size``, ``wall_time_s``, its
+    numeric ``stats`` entries, and whatever the optional ``metrics``
+    callback derives from the full report. Specs sharing a host (via
+    ``graph=`` or a shared binding) reuse one CSR snapshot — the point of
+    routing sweeps through :meth:`repro.session.Session.build_many`
+    semantics instead of per-call plumbing.
+
+    Returns the aggregate :class:`ExperimentResult` *and* the raw
+    reports, so callers can keep artifacts (spanners, oracles) alongside
+    the numbers.
+    """
+    from ..session import Session
+
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    session = session if session is not None else Session()
+    result = ExperimentResult(name=name)
+    reports: List["BuildReport"] = []
+    for index, spec in enumerate(specs):
+        try:
+            report = session.build(spec, graph=graph)
+        except Exception:
+            if on_error == "raise":
+                raise
+            continue
+        record: Dict[str, float] = {
+            "size": float(report.size),
+            "wall_time_s": report.wall_time_s,
+        }
+        for key, value in report.stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                record[key] = float(value)
+        if metrics is not None:
+            record.update(metrics(report))
+        result.records.append(record)
+        seed = report.resolved_seed
+        result.seeds.append(seed if seed is not None else index)
+        reports.append(report)
+    return result, reports
 
 
 def compare_experiments(

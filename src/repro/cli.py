@@ -7,25 +7,33 @@ Commands:
   conversion) of a JSON graph, optionally verify and export it;
 * ``ft2-approx`` — run the Theorem 3.3 O(log n)-approximation for Minimum
   Cost r-Fault Tolerant 2-Spanner on a JSON digraph;
+* ``run`` — execute a JSON :class:`repro.spec.SpannerSpec` file (the
+  sharded-sweep workhorse: a ``run`` of a spec written by ``--spec-out``
+  reproduces the originating invocation byte-for-byte in ``--json`` mode);
+* ``algorithms`` — the registry's capability table
+  (:func:`repro.registry.describe_algorithms`);
 * ``verify`` — check a spanner file against a host file for a given
   ``(k, r)``, with exhaustive / sampled / Lemma 3.1 modes.
 
-Every command is deterministic under ``--seed``.
+Every subcommand shares one parent parser providing ``--seed``,
+``--method`` (the :func:`repro.graph.csr.resolve_method` dispatch
+switch), and ``--json`` (machine-readable output on stdout). The build
+subcommands are thin :class:`repro.spec.SpannerSpec` constructors over
+one :class:`repro.session.Session`; they contain no algorithm plumbing
+of their own.
+
+Every command is deterministic under ``--seed``; ``run`` takes its seed
+and method from the spec file unless the flags are given explicitly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis import render_table
-from .core import (
-    fault_tolerant_spanner,
-    is_fault_tolerant_spanner,
-    is_ft_2spanner,
-    sampled_fault_check,
-)
 from .errors import ReproError
 from .graph import (
     complete_graph,
@@ -39,7 +47,9 @@ from .graph import (
     random_regular_graph,
     to_dot,
 )
-from .two_spanner import approximate_ft2_spanner
+from .registry import describe_algorithms
+from .session import Session
+from .spec import BuildReport, FaultModel, SpannerSpec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,9 +57,30 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fault-tolerant spanners (Dinitz & Krauthgamer, PODC 2011)",
     )
+    # One parent parser for the flags every subcommand shares — a single
+    # definition instead of per-subcommand duplication. Defaults are None
+    # sentinels so handlers can tell "left unset" (fall back to 0/auto,
+    # or to the spec file's own values for `run`) from an explicit choice.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=None,
+                        help="deterministic seed (default 0)")
+    common.add_argument(
+        "--method",
+        choices=["auto", "csr", "dict"],
+        default=None,
+        help="kernel dispatch: CSR fast path, dict reference, or "
+             "size-based auto (default auto)",
+    )
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON on stdout instead of tables",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a workload graph (JSON)")
+    gen = sub.add_parser(
+        "generate", parents=[common], help="generate a workload graph (JSON)"
+    )
     gen.add_argument(
         "kind",
         choices=["gnp", "gnp-connected", "gnp-digraph", "complete", "grid",
@@ -59,31 +90,58 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--p", type=float, default=0.3, help="edge probability")
     gen.add_argument("--degree", type=int, default=4, help="regular degree")
     gen.add_argument("--radius", type=float, default=0.3, help="geometric radius")
-    gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output JSON path")
 
-    ft = sub.add_parser("ft-spanner", help="Theorem 2.1 conversion")
+    ft = sub.add_parser(
+        "ft-spanner", parents=[common], help="Theorem 2.1 conversion"
+    )
     ft.add_argument("graph", help="host graph JSON path")
     ft.add_argument("--k", type=float, default=3.0, help="stretch bound")
     ft.add_argument("--r", type=int, default=1, help="fault tolerance")
     ft.add_argument("--schedule", choices=["theorem", "light"], default="theorem")
     ft.add_argument("--iterations", type=int, default=None)
-    ft.add_argument("--seed", type=int, default=0)
     ft.add_argument("--out", default=None, help="write the spanner JSON here")
     ft.add_argument("--dot", default=None, help="write a DOT rendering here")
+    ft.add_argument("--spec-out", default=None,
+                    help="write the equivalent spec JSON here (for `repro run`)")
     ft.add_argument(
         "--verify",
         choices=["none", "exhaustive", "sampled"],
         default="sampled",
     )
 
-    approx = sub.add_parser("ft2-approx", help="Theorem 3.3 approximation")
+    approx = sub.add_parser(
+        "ft2-approx", parents=[common], help="Theorem 3.3 approximation"
+    )
     approx.add_argument("graph", help="host digraph JSON path")
     approx.add_argument("--r", type=int, default=1)
-    approx.add_argument("--seed", type=int, default=0)
     approx.add_argument("--out", default=None, help="write the spanner JSON here")
+    approx.add_argument("--spec-out", default=None,
+                        help="write the equivalent spec JSON here")
 
-    ver = sub.add_parser("verify", help="verify a spanner against a host graph")
+    run = sub.add_parser(
+        "run", parents=[common],
+        help="execute a JSON spec file (--seed/--method override the spec "
+             "when given)",
+    )
+    run.add_argument("spec", help="SpannerSpec JSON path (see --spec-out)")
+    run.add_argument("--out", default=None, help="write the spanner JSON here")
+    run.add_argument("--dot", default=None, help="write a DOT rendering here")
+    run.add_argument(
+        "--verify",
+        choices=["none", "exhaustive", "sampled", "lemma31", "auto"],
+        default=None,
+        help="default: sampled (lemma31 for the stretch-2 pipelines)",
+    )
+
+    sub.add_parser(
+        "algorithms", parents=[common],
+        help="list registered algorithms and their capabilities",
+    )
+
+    ver = sub.add_parser(
+        "verify", parents=[common], help="verify a spanner against a host graph"
+    )
     ver.add_argument("graph", help="host graph JSON path")
     ver.add_argument("spanner", help="spanner JSON path")
     ver.add_argument("--k", type=float, default=3.0)
@@ -92,110 +150,294 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode", choices=["exhaustive", "sampled", "lemma31"], default="sampled"
     )
     ver.add_argument("--trials", type=int, default=100)
-    ver.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _print_json(doc) -> None:
+    """Canonical JSON to stdout: sorted keys, so output is byte-stable."""
+    print(json.dumps(doc, sort_keys=True, indent=2))
+
+
+def _seed_of(args) -> int:
+    """The effective seed: explicit flag value, else the documented 0."""
+    return 0 if args.seed is None else args.seed
+
+
+def _method_of(args) -> str:
+    """The effective method: explicit flag value, else ``auto``."""
+    return args.method if args.method is not None else "auto"
 
 
 def _cmd_generate(args) -> int:
     if args.kind == "gnp":
-        graph = gnp_random_graph(args.n, args.p, seed=args.seed)
+        graph = gnp_random_graph(args.n, args.p, seed=_seed_of(args))
     elif args.kind == "gnp-connected":
-        graph = connected_gnp_graph(args.n, args.p, seed=args.seed)
+        graph = connected_gnp_graph(args.n, args.p, seed=_seed_of(args))
     elif args.kind == "gnp-digraph":
-        graph = gnp_random_digraph(args.n, args.p, seed=args.seed)
+        graph = gnp_random_digraph(args.n, args.p, seed=_seed_of(args))
     elif args.kind == "complete":
         graph = complete_graph(args.n)
     elif args.kind == "grid":
         graph = grid_graph(args.n, args.n)
     elif args.kind == "regular":
-        graph = random_regular_graph(args.n, args.degree, seed=args.seed)
+        graph = random_regular_graph(args.n, args.degree, seed=_seed_of(args))
     else:  # geometric
-        graph = random_geometric_graph(args.n, args.radius, seed=args.seed)
+        graph = random_geometric_graph(args.n, args.radius, seed=_seed_of(args))
     dump_json(graph, args.out)
-    print(
-        f"wrote {args.kind} graph (n={graph.num_vertices}, "
-        f"m={graph.num_edges}) to {args.out}"
-    )
+    if args.json:
+        _print_json(
+            {
+                "kind": args.kind,
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "directed": graph.directed,
+                "out": args.out,
+            }
+        )
+    else:
+        print(
+            f"wrote {args.kind} graph (n={graph.num_vertices}, "
+            f"m={graph.num_edges}) to {args.out}"
+        )
     return 0
 
 
-def _cmd_ft_spanner(args) -> int:
-    graph = load_json(args.graph)
-    result = fault_tolerant_spanner(
-        graph,
-        args.k,
-        args.r,
-        iterations=args.iterations,
-        schedule=args.schedule,
-        seed=args.seed,
-    )
-    rows = [
-        ["host edges", graph.num_edges],
-        ["spanner edges", result.num_edges],
-        ["iterations", result.stats.iterations],
-        ["max survivor |G\\J|", result.stats.max_survivor_size],
-    ]
-    if args.verify == "exhaustive":
-        ok = is_fault_tolerant_spanner(result.spanner, graph, args.k, args.r)
-        rows.append(["exhaustively valid", ok])
-    elif args.verify == "sampled":
-        ok = sampled_fault_check(
-            result.spanner, graph, args.k, args.r, trials=100, seed=args.seed
+def _execute_spec(
+    spec: SpannerSpec,
+    verify_mode: str,
+    json_mode: bool,
+    out: Optional[str],
+    dot: Optional[str],
+    title: str,
+    table_rows,
+) -> int:
+    """Shared build/verify/export driver behind ft-spanner, ft2-approx, run.
+
+    ``table_rows`` maps ``(session, report, host)`` to the human table's
+    rows; the JSON document is the same for every entry point, which is
+    what makes ``repro run`` reproduce a build subcommand byte-for-byte.
+    """
+    session = Session()
+    report = session.build(spec)
+    host = session.resolve_graph(spec)
+    verification = None
+    ok = True
+    if verify_mode != "none":
+        # The verification RNG is keyed to the build seed, so a rerun of
+        # the same spec (e.g. via `repro run`) samples the same faults.
+        ok = session.verify(
+            report,
+            graph=host,
+            mode=verify_mode,
+            trials=100,
+            seed=report.resolved_seed or 0,
         )
-        rows.append(["sampled-valid (100 trials)", ok])
+        verification = {"mode": verify_mode, "ok": ok}
+    if json_mode:
+        doc = report.to_dict(include_spanner=False, include_timing=False)
+        doc["verification"] = verification
+        _print_json(doc)
     else:
-        ok = True
-    print(render_table(["quantity", "value"],
-                       rows, title=f"ft-spanner k={args.k} r={args.r}"))
-    if args.out:
-        dump_json(result.spanner, args.out)
-        print(f"spanner written to {args.out}")
-    if args.dot:
-        with open(args.dot, "w", encoding="utf-8") as handle:
-            handle.write(to_dot(graph, highlight=result.spanner))
-        print(f"DOT rendering written to {args.dot}")
+        rows = table_rows(session, report, host)
+        if verification is not None:
+            label = {
+                "exhaustive": "exhaustively valid",
+                "sampled": "sampled-valid (100 trials)",
+                "lemma31": "valid (Lemma 3.1)",
+            }.get(verify_mode, f"{verify_mode}-valid")
+            rows.append([label, ok])
+        print(render_table(["quantity", "value"], rows, title=title))
+    if out:
+        dump_json(report.spanner, out)
+        if not json_mode:
+            print(f"spanner written to {out}")
+    if dot:
+        with open(dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(host, highlight=report.spanner))
+        if not json_mode:
+            print(f"DOT rendering written to {dot}")
     return 0 if ok else 2
 
 
+def _ft_spanner_spec(args) -> SpannerSpec:
+    """Thin spec constructor for the ft-spanner subcommand."""
+    params = {"schedule": args.schedule}
+    if args.iterations is not None:
+        params["iterations"] = args.iterations
+    return SpannerSpec(
+        algorithm="theorem21",
+        stretch=args.k,
+        faults=FaultModel.vertex(args.r),
+        method=_method_of(args),
+        seed=_seed_of(args),
+        params=params,
+        graph=args.graph,
+    )
+
+
+def _ft_table_rows(session: Session, report: BuildReport, host) -> list:
+    return [
+        ["host edges", host.num_edges],
+        ["spanner edges", report.size],
+        ["iterations", report.stats.get("iterations")],
+        ["max survivor |G\\J|", report.stats.get("max_survivor_size")],
+    ]
+
+
+def _cmd_ft_spanner(args) -> int:
+    spec = _ft_spanner_spec(args)
+    if args.spec_out:
+        spec.save(args.spec_out)
+        if not args.json:
+            print(f"spec written to {args.spec_out}")
+    return _execute_spec(
+        spec,
+        verify_mode=args.verify,
+        json_mode=args.json,
+        out=args.out,
+        dot=args.dot,
+        title=f"ft-spanner k={args.k} r={args.r}",
+        table_rows=_ft_table_rows,
+    )
+
+
+def _ft2_approx_spec(args) -> SpannerSpec:
+    """Thin spec constructor for the ft2-approx subcommand."""
+    return SpannerSpec(
+        algorithm="ft2-approx",
+        stretch=2,
+        faults=FaultModel.vertex(args.r),
+        method=_method_of(args),
+        seed=_seed_of(args),
+        graph=args.graph,
+    )
+
+
+def _ft2_table_rows(session: Session, report: BuildReport, host) -> list:
+    stats = report.stats
+    return [
+        ["arcs", host.num_edges],
+        ["LP (4) optimum", stats.get("lp_objective")],
+        ["rounded cost", stats.get("cost")],
+        ["cost / LP", stats.get("ratio_vs_lp")],
+        ["alpha", stats.get("alpha")],
+        ["rounding attempts", stats.get("rounding_attempts")],
+        ["repaired edges", stats.get("repaired_edges")],
+    ]
+
+
 def _cmd_ft2_approx(args) -> int:
-    graph = load_json(args.graph)
-    result = approximate_ft2_spanner(graph, args.r, seed=args.seed)
-    valid = is_ft_2spanner(result.spanner, graph, args.r)
+    spec = _ft2_approx_spec(args)
+    if args.spec_out:
+        spec.save(args.spec_out)
+        if not args.json:
+            print(f"spec written to {args.spec_out}")
+    return _execute_spec(
+        spec,
+        verify_mode="lemma31",
+        json_mode=args.json,
+        out=args.out,
+        dot=None,
+        title=f"ft2-approx r={args.r}",
+        table_rows=_ft2_table_rows,
+    )
+
+
+def _generic_table_rows(session: Session, report: BuildReport, host) -> list:
+    rows = [
+        ["algorithm", report.spec.algorithm],
+        ["host edges", host.num_edges],
+        ["size", report.size],
+        ["resolved method", report.resolved_method],
+    ]
+    for key, value in sorted(report.stats.items()):
+        if isinstance(value, (int, float, str, bool)):
+            rows.append([key, value])
+    return rows
+
+
+def _cmd_run(args) -> int:
+    spec = SpannerSpec.load(args.spec)
+    # The spec file is authoritative, but an explicit flag overrides it
+    # (e.g. one spec fanned out over `--seed $SHARD` for a sweep).
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.method is not None:
+        overrides["method"] = args.method
+    if overrides:
+        spec = spec.replace(**overrides)
+    table_rows = {
+        "theorem21": _ft_table_rows,
+        "theorem21-edge": _ft_table_rows,
+        "ft2-approx": _ft2_table_rows,
+        "dk10-baseline": _ft2_table_rows,
+    }.get(spec.algorithm, _generic_table_rows)
+    verify_mode = args.verify
+    if verify_mode is None:
+        # Unset: the stretch-2 pipelines get their natural Lemma 3.1
+        # counting check, everything else the sampled default. An
+        # explicit choice is always respected.
+        verify_mode = (
+            "lemma31"
+            if spec.algorithm in ("ft2-approx", "dk10-baseline")
+            else "sampled"
+        )
+    return _execute_spec(
+        spec,
+        verify_mode=verify_mode,
+        json_mode=args.json,
+        out=args.out,
+        dot=args.dot,
+        title=f"run {spec.algorithm} "
+              f"(stretch={spec.stretch} faults={spec.faults.kind} r={spec.r})",
+        table_rows=table_rows,
+    )
+
+
+def _cmd_algorithms(args) -> int:
+    rows = describe_algorithms()
+    if args.json:
+        _print_json({"algorithms": list(rows)})
+        return 0
+    flags = ["weighted", "directed", "fault_tolerant", "distributed", "csr_path"]
     print(
         render_table(
-            ["quantity", "value"],
+            ["name", "stretch domain", *[f.replace("_", " ") for f in flags],
+             "summary"],
             [
-                ["arcs", graph.num_edges],
-                ["LP (4) optimum", result.lp_objective],
-                ["rounded cost", result.cost],
-                ["cost / LP", result.ratio_vs_lp],
-                ["alpha", result.alpha],
-                ["rounding attempts", result.rounding.attempts],
-                ["repaired edges", len(result.rounding.repaired_edges)],
-                ["valid (Lemma 3.1)", valid],
+                [row["name"], row["stretch_domain"],
+                 *[("yes" if row[f] else "-") for f in flags], row["summary"]]
+                for row in rows
             ],
-            title=f"ft2-approx r={args.r}",
+            title=f"{len(rows)} registered algorithms",
         )
     )
-    if args.out:
-        dump_json(result.spanner, args.out)
-        print(f"spanner written to {args.out}")
-    return 0 if valid else 2
+    return 0
 
 
 def _cmd_verify(args) -> int:
     graph = load_json(args.graph)
     spanner = load_json(args.spanner)
+    from .core import (
+        is_fault_tolerant_spanner,
+        is_ft_2spanner,
+        sampled_fault_check,
+    )
+
     if args.mode == "exhaustive":
         ok = is_fault_tolerant_spanner(spanner, graph, args.k, args.r)
     elif args.mode == "sampled":
         ok = sampled_fault_check(
-            spanner, graph, args.k, args.r, trials=args.trials, seed=args.seed
+            spanner, graph, args.k, args.r, trials=args.trials, seed=_seed_of(args)
         )
     else:
         ok = is_ft_2spanner(spanner, graph, args.r)
-    print(f"{args.mode} verification (k={args.k}, r={args.r}): "
-          f"{'PASS' if ok else 'FAIL'}")
+    if args.json:
+        _print_json({"mode": args.mode, "k": args.k, "r": args.r, "ok": ok})
+    else:
+        print(f"{args.mode} verification (k={args.k}, r={args.r}): "
+              f"{'PASS' if ok else 'FAIL'}")
     return 0 if ok else 2
 
 
@@ -207,6 +449,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "ft-spanner": _cmd_ft_spanner,
         "ft2-approx": _cmd_ft2_approx,
+        "run": _cmd_run,
+        "algorithms": _cmd_algorithms,
         "verify": _cmd_verify,
     }
     try:

@@ -5,6 +5,10 @@ conversion (and its Corollary 2.2 instantiation with the greedy spanner),
 :mod:`repro.core.clpr` the CLPR09 exponential-in-r baseline it improves on,
 and :mod:`repro.core.verify` the exhaustive / sampled / Lemma 3.1 verifiers
 used by tests and benchmarks.
+
+The constructors here self-register in :mod:`repro.registry` (names
+``theorem21``, ``theorem21-edge``, ``clpr09``) — the registry, not this
+module list, is the authoritative catalogue of what can be built.
 """
 
 from .clpr import CLPRResult, clpr_fault_tolerant_spanner

@@ -41,6 +41,7 @@ from typing import Hashable, Set
 from ..errors import FaultToleranceError
 from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
 from ..rng import RandomLike, ensure_rng
 from ..spanners.thorup_zwick import (
     _cluster_tree_edges,
@@ -204,3 +205,36 @@ def clpr_fault_tolerant_spanner(
         if snap.scipy_kernels() is not None:
             return _clpr_csr(graph, t, r, vertices, shared_levels, rng)
     return _clpr_dict(graph, t, r, vertices, shared_levels, rng)
+
+
+@register_algorithm(
+    "clpr09",
+    summary="CLPR09 union-over-fault-sets r-FT (2t-1)-spanner (exp. in r)",
+    stretch_domain="odd integers 2t-1 (3, 5, 7, ...)",
+    weighted=True,
+    directed=False,
+    fault_tolerant=True,
+    csr_path=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> clpr_fault_tolerant_spanner``."""
+    from ..spec import require_fault_kind, stretch_to_levels
+
+    require_fault_kind(spec, "vertex", "none")
+    kwargs = {}
+    if spec.param("max_fault_sets") is not None:
+        kwargs["max_fault_sets"] = spec.param("max_fault_sets")
+    result = clpr_fault_tolerant_spanner(
+        graph,
+        stretch_to_levels(spec),
+        spec.faults.r,
+        seed=seed,
+        shared_randomness=spec.param("shared_randomness", True),
+        method=spec.method,
+        **kwargs,
+    )
+    stats = {
+        "stretch": result.stretch,
+        "fault_sets_processed": result.fault_sets_processed,
+    }
+    return result, stats

@@ -24,13 +24,15 @@ The expected survivor size is ``n/r`` per iteration, so the union has size
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, List, Optional, Sequence, Set
 
-from ..errors import FaultToleranceError, InvalidStretch
+from ..errors import FaultToleranceError, InvalidSpec, InvalidStretch
 from ..graph.csr import snapshot
 from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.bounds import conversion_iterations, conversion_iterations_light
 from ..spanners.greedy import IndexedGreedyKernel, greedy_spanner
@@ -39,6 +41,36 @@ Vertex = Hashable
 
 #: A base spanner algorithm: (graph, stretch) -> spanning subgraph.
 BaseSpannerAlgorithm = Callable[[BaseGraph, float], BaseGraph]
+
+
+def base_algorithm_caller(
+    base_algorithm: BaseSpannerAlgorithm, method: str
+) -> BaseSpannerAlgorithm:
+    """Bind ``method=`` into a base algorithm when its signature takes it.
+
+    The Theorem 2.1 loop calls the base as ``base(survivor_graph, k)``;
+    before this helper, a ``method=`` given to the conversion never
+    reached the base algorithm, so the resampling loop silently ran the
+    base's *default* path. Every library constructor takes the shared
+    ``method`` kwarg (:func:`repro.graph.csr.resolve_method` vocabulary),
+    so binding it here routes all ``α`` per-iteration builds onto the
+    requested kernel path end-to-end. Callables without a ``method``
+    parameter (user lambdas) are returned unchanged.
+    """
+    try:
+        parameters = inspect.signature(base_algorithm).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return base_algorithm
+    accepts = "method" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if not accepts:
+        return base_algorithm
+
+    def bound(graph: BaseGraph, k: float) -> BaseGraph:
+        return base_algorithm(graph, k, method=method)
+
+    return bound
 
 
 @dataclass
@@ -197,6 +229,7 @@ def fault_tolerant_spanner(
     constant: float = 16.0,
     seed: RandomLike = None,
     survival_prob: Optional[float] = None,
+    method: str = "auto",
 ) -> ConversionResult:
     """Build an r-fault-tolerant k-spanner via the Theorem 2.1 conversion.
 
@@ -226,6 +259,13 @@ def fault_tolerant_spanner(
         Override the per-vertex survival probability (default: the paper's
         ``1/r``, or ``1/2`` when r = 1). Exposed for the DESIGN.md §5
         oversampling ablation; non-default values void the size guarantee.
+    method:
+        The shared dispatch switch (:func:`repro.graph.csr.resolve_method`
+        vocabulary), threaded through to the base algorithm so every
+        per-iteration build runs on the requested kernel path. The
+        default greedy base runs on the CSR engine unless
+        ``method="dict"`` forces the reference pipeline; custom base
+        algorithms receive ``method=`` when their signature accepts it.
 
     Returns
     -------
@@ -240,6 +280,12 @@ def fault_tolerant_spanner(
         raise FaultToleranceError(
             f"survival_prob must be in (0, 1], got {survival_prob}"
         )
+    if method not in ("auto", "csr", "dict", "indexed"):
+        raise FaultToleranceError(
+            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+        )
+    use_engine = base_algorithm is greedy_spanner and method != "dict"
+    base_algorithm = base_algorithm_caller(base_algorithm, method)
 
     union = type(graph)()
     union.add_vertices(graph.vertices())
@@ -268,7 +314,7 @@ def fault_tolerant_spanner(
     # The default greedy base runs on the CSR fast path: one host
     # snapshot, per-iteration survivor bitmasks, integer edge-id union.
     # Custom base algorithms still get the dict pipeline below.
-    engine = _OversamplingEngine(graph, k) if base_algorithm is greedy_spanner else None
+    engine = _OversamplingEngine(graph, k) if use_engine else None
 
     for i in range(alpha):
         it_rng = derive_rng(rng, i)
@@ -298,22 +344,31 @@ def fault_tolerant_spanner_until_valid(
     batch: int = 8,
     max_iterations: int = 100_000,
     seed: RandomLike = None,
+    method: str = "auto",
 ) -> ConversionResult:
     """Adaptive variant: run iterations until ``validity_check`` accepts.
 
     Useful for the E1/E3 ablations measuring how many iterations are needed
     *in practice* versus the union-bound-driven ``r^3 log n`` of the
     theorem. ``validity_check`` receives the current union spanner.
+    ``method`` is threaded to the base algorithm exactly as in
+    :func:`fault_tolerant_spanner`.
     """
     if r < 1:
         raise FaultToleranceError("the adaptive variant requires r >= 1")
+    if method not in ("auto", "csr", "dict", "indexed"):
+        raise FaultToleranceError(
+            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+        )
+    use_engine = base_algorithm is greedy_spanner and method != "dict"
+    base_algorithm = base_algorithm_caller(base_algorithm, method)
     union = type(graph)()
     union.add_vertices(graph.vertices())
     p_survive = survival_probability(r)
     rng = ensure_rng(seed)
     stats = ConversionStats(iterations=0)
     vertices = list(graph.vertices())
-    engine = _OversamplingEngine(graph, k) if base_algorithm is greedy_spanner else None
+    engine = _OversamplingEngine(graph, k) if use_engine else None
     materialized: Set[int] = set()
     done = 0
     while done < max_iterations:
@@ -339,3 +394,86 @@ def fault_tolerant_spanner_until_valid(
     raise FaultToleranceError(
         f"no valid r-fault-tolerant spanner after {max_iterations} iterations"
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry hook (see repro.registry / repro.session)
+# ---------------------------------------------------------------------------
+
+
+def resolve_base_algorithm(spec, seed=None) -> BaseSpannerAlgorithm:
+    """Resolve a spec's ``base_algorithm`` param to a ``(graph, k)`` callable.
+
+    ``"greedy"`` (the default) maps to :func:`repro.spanners.greedy
+    .greedy_spanner` *itself* so the conversion's CSR engine fast path
+    stays engaged; any other registered non-fault-tolerant algorithm is
+    wrapped so each survivor graph is built with the spec's method and
+    the resolved ``seed``.
+    """
+    name = spec.param("base_algorithm", "greedy")
+    if name == "greedy":
+        return greedy_spanner
+    from ..registry import get_algorithm
+
+    info = get_algorithm(name)
+    if info.fault_tolerant or info.distributed:
+        raise InvalidSpec(
+            f"base_algorithm must be a plain spanner construction, got the "
+            f"{'distributed' if info.distributed else 'fault-tolerant'} "
+            f"algorithm {name!r}"
+        )
+
+    def base(sub: BaseGraph, k: float) -> BaseGraph:
+        sub_spec = spec.replace(
+            algorithm=name, faults=type(spec.faults).none(),
+            params=dict(spec.param("base_params", {})), graph=None, stretch=k,
+        )
+        artifact, _stats = info.builder(sub, sub_spec, seed)
+        return artifact
+
+    return base
+
+
+def conversion_stats_dict(stats: ConversionStats) -> dict:
+    """JSON-able per-iteration accounting for a :class:`BuildReport`."""
+    return {
+        "iterations": stats.iterations,
+        "max_survivor_size": stats.max_survivor_size,
+        "survivor_sizes": list(stats.survivor_sizes),
+        "iteration_edge_counts": list(stats.iteration_edge_counts),
+        "union_edge_counts": list(stats.union_edge_counts),
+    }
+
+
+@register_algorithm(
+    "theorem21",
+    summary="Theorem 2.1 fault-oversampling conversion (r vertex faults)",
+    stretch_domain="inherits the base algorithm's domain (any k >= 1 for greedy)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+    csr_path=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> fault_tolerant_spanner``."""
+    from ..spec import require_fault_kind
+
+    require_fault_kind(spec, "vertex", "none")
+    result = fault_tolerant_spanner(
+        graph,
+        spec.stretch,
+        spec.faults.r,
+        base_algorithm=resolve_base_algorithm(spec, seed),
+        iterations=spec.param("iterations"),
+        schedule=spec.param("schedule", "theorem"),
+        constant=spec.param("constant", 16.0),
+        seed=seed,
+        survival_prob=spec.param("survival_prob"),
+        method=spec.method,
+    )
+    stats = conversion_stats_dict(result.stats)
+    if spec.param("base_algorithm", "greedy") == "greedy":
+        # The greedy-base engine runs on the CSR snapshot at every size
+        # unless the dict pipeline was forced.
+        stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
+    return result, stats

@@ -36,12 +36,16 @@ from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..errors import FaultToleranceError, InvalidStretch
 from ..graph.graph import BaseGraph
 from ..graph.paths import dijkstra
+from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.greedy import greedy_spanner
 from .conversion import (
     BaseSpannerAlgorithm,
     ConversionResult,
     ConversionStats,
+    base_algorithm_caller,
+    conversion_stats_dict,
+    resolve_base_algorithm,
     resolve_iterations,
     survival_probability,
 )
@@ -81,6 +85,7 @@ def edge_fault_tolerant_spanner(
     schedule: str = "light",
     constant: float = 16.0,
     seed: RandomLike = None,
+    method: str = "auto",
 ) -> ConversionResult:
     """Theorem 2.1 conversion against *edge* faults.
 
@@ -89,12 +94,19 @@ def edge_fault_tolerant_spanner(
     independently with probability ``1 - 1/r``) and spans ``G`` minus
     those edges. The default schedule is "light" (``r² log n``): the
     per-pair success probability here is ``(1/r)(1-1/r)^r``, one ``1/r``
-    factor better than the vertex case's ``(1/r)²(1-1/r)^r``.
+    factor better than the vertex case's ``(1/r)²(1-1/r)^r``. ``method``
+    is threaded through to the base algorithm (see
+    :func:`repro.core.conversion.base_algorithm_caller`).
     """
     if k < 1:
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
+    if method not in ("auto", "csr", "dict", "indexed"):
+        raise FaultToleranceError(
+            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+        )
+    base_algorithm = base_algorithm_caller(base_algorithm, method)
 
     union = type(graph)()
     union.add_vertices(graph.vertices())
@@ -225,3 +237,39 @@ def is_edge_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
         edge_satisfied_for_edge_faults(spanner, u, v, r)
         for u, v, _w in graph.edges()
     )
+
+
+@register_algorithm(
+    "theorem21-edge",
+    summary="Theorem 2.1 conversion against r edge faults (link cuts)",
+    stretch_domain="inherits the base algorithm's domain (any k >= 1 for greedy)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+    # Rides greedy's indexed kernel per survivor graph but never reads a
+    # host CSR snapshot (edge subgraphs are materialized as dicts), so
+    # sessions should not prime one.
+    csr_path=False,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> edge_fault_tolerant_spanner``."""
+    from ..spec import require_fault_kind
+
+    require_fault_kind(spec, "edge", "none")
+    result = edge_fault_tolerant_spanner(
+        graph,
+        spec.stretch,
+        spec.faults.r,
+        base_algorithm=resolve_base_algorithm(spec, seed),
+        iterations=spec.param("iterations"),
+        schedule=spec.param("schedule", "light"),
+        constant=spec.param("constant", 16.0),
+        seed=seed,
+        method=spec.method,
+    )
+    stats = conversion_stats_dict(result.stats)
+    if spec.param("base_algorithm", "greedy") == "greedy":
+        # Each survivor graph is spanned by greedy's indexed kernel
+        # (size-independent) unless the dict reference was forced.
+        stats["resolved_method"] = "dict" if spec.method == "dict" else "indexed"
+    return result, stats

@@ -3,6 +3,11 @@
 Padded decompositions (Lemma 3.7), the distributed Baswana–Sen base
 spanner, the Theorem 2.3 distributed fault-tolerance conversion, and
 Algorithm 2's cluster-decomposed LP with local rounding (Theorem 3.9).
+
+The two end-to-end pipelines self-register in :mod:`repro.registry` as
+``distributed-ft`` and ``distributed-ft2`` (capability flag
+``distributed=True``), so they build through the same
+:class:`repro.session.Session` front door as the centralized algorithms.
 """
 
 from .cluster_lp import (

@@ -37,6 +37,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..errors import DistributedError
 from ..graph.graph import BaseGraph, DiGraph, Graph
 from ..lp.cutting_plane import solve_with_cuts
+from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..two_spanner.lp_new import build_ft2_lp, knapsack_cover_oracle, x_var
 from ..two_spanner.rounding import (
@@ -252,3 +253,38 @@ def distributed_ft2_spanner(
     return DistributedSpannerResult(
         rounding=rounding, lp=lp, total_rounds=lp.total_rounds + 1
     )
+
+
+@register_algorithm(
+    "distributed-ft2",
+    summary="Algorithm 2 / Theorem 3.9: distributed r-FT 2-spanner in LOCAL",
+    stretch_domain="exactly 2 (unit lengths, per-edge costs)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+    distributed=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> distributed_ft2_spanner``."""
+    from ..spec import require_fault_kind, require_stretch
+
+    require_stretch(spec, 2)
+    require_fault_kind(spec, "vertex", "none")
+    result = distributed_ft2_spanner(
+        graph,
+        spec.faults.r,
+        t=spec.param("t"),
+        p=spec.param("p", DEFAULT_P),
+        seed=seed,
+        backend=spec.param("backend", "auto"),
+        alpha_constant=spec.param("alpha_constant", 4.0),
+        max_attempts=spec.param("max_attempts", 20),
+    )
+    stats = {
+        "cost": result.cost,
+        "total_rounds": result.total_rounds,
+        "lp_iterations": result.lp.iterations,
+        "lp_cost": result.lp.lp_cost,
+        "rounding_attempts": result.rounding.attempts,
+    }
+    return result, stats

@@ -23,6 +23,7 @@ from typing import Hashable, List, Optional
 from ..core.conversion import resolve_iterations, survival_probability
 from ..errors import DistributedError
 from ..graph.graph import Graph
+from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from .local_spanner import distributed_baswana_sen
 
@@ -107,3 +108,35 @@ def distributed_ft_spanner(
         total_messages=total_messages,
         survivor_sizes=survivor_sizes,
     )
+
+
+@register_algorithm(
+    "distributed-ft",
+    summary="Corollary 2.4 distributed r-FT (2t-1)-spanner (LOCAL simulator)",
+    stretch_domain="odd integers 2t-1 (Baswana–Sen levels t)",
+    weighted=True,
+    directed=False,
+    fault_tolerant=True,
+    distributed=True,
+)
+def _registry_build(graph: Graph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> distributed_ft_spanner``."""
+    from ..spec import require_fault_kind, stretch_to_levels
+
+    require_fault_kind(spec, "vertex", "none")
+    result = distributed_ft_spanner(
+        graph,
+        stretch_to_levels(spec, parameter="k"),
+        spec.faults.r,
+        iterations=spec.param("iterations"),
+        schedule=spec.param("schedule", "light"),
+        constant=spec.param("constant", 16.0),
+        seed=seed,
+    )
+    stats = {
+        "iterations": result.iterations,
+        "total_rounds": result.total_rounds,
+        "total_messages": result.total_messages,
+        "survivor_sizes": list(result.survivor_sizes),
+    }
+    return result, stats

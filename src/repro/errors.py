@@ -74,6 +74,34 @@ class RoundingError(ReproError):
     """A randomized rounding scheme failed to produce a valid solution."""
 
 
+class SpecError(ReproError):
+    """Errors raised by the typed spec / session front door."""
+
+
+class InvalidSpec(SpecError):
+    """A :class:`repro.spec.SpannerSpec` field (or spec document) is invalid.
+
+    The message always names the offending field and the accepted values,
+    so a failing sweep shard can be fixed from the error alone.
+    """
+
+
+class RegistryError(SpecError):
+    """Errors from the algorithm registry (duplicate or malformed entries)."""
+
+
+class UnknownAlgorithm(RegistryError):
+    """A spec references an algorithm name that is not registered."""
+
+    def __init__(self, name: object, available=()) -> None:
+        hint = ", ".join(sorted(available)) if available else "none registered"
+        super().__init__(
+            f"unknown algorithm {name!r}; available algorithms: {hint}"
+        )
+        self.name = name
+        self.available = tuple(sorted(available))
+
+
 class DistributedError(ReproError):
     """Errors raised by the LOCAL-model simulator or distributed algorithms."""
 

@@ -1,0 +1,174 @@
+"""The algorithm registry: one namespace for every spanner pipeline.
+
+Every builder in the library self-registers here via
+:func:`register_algorithm` (the decorator lives at the bottom of each
+algorithm module, next to the code it describes), so the registry — not
+grep — is the single source of truth for what the library can build and
+what each pipeline supports:
+
+* :func:`available_algorithms` — the sorted names;
+* :func:`get_algorithm` — the :class:`AlgorithmInfo` record: builder,
+  capability flags (weighted? directed hosts? fault-tolerant?
+  distributed? CSR fast path?), and the stretch domain;
+* :func:`describe_algorithms` — JSON-able capability table (the CLI's
+  ``algorithms --json`` output).
+
+A registered builder has the uniform signature
+``builder(graph, spec, seed) -> (artifact, stats)``: the host graph, the
+validated :class:`repro.spec.SpannerSpec`, and the resolved seed in;
+the built artifact (graph or richer result object) plus a JSON-able
+stats dict out. :class:`repro.session.Session` wraps the call with
+timing, RNG bookkeeping, and the :class:`repro.spec.BuildReport`
+envelope.
+
+Builtin registration is lazy: the algorithm modules are imported the
+first time anything asks the registry a question, which keeps
+``import repro.registry`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from .errors import RegistryError, UnknownAlgorithm
+
+#: Builder signature: (graph, spec, seed) -> (artifact, stats).
+Builder = Callable[..., Tuple[Any, Dict[str, Any]]]
+
+#: Modules whose import self-registers the builtin algorithms.
+_BUILTIN_MODULES = (
+    "repro.spanners.greedy",
+    "repro.spanners.baswana_sen",
+    "repro.spanners.thorup_zwick",
+    "repro.spanners.distance_oracle",
+    "repro.core.conversion",
+    "repro.core.edge_faults",
+    "repro.core.clpr",
+    "repro.two_spanner.approx",
+    "repro.distributed.ft_spanner",
+    "repro.distributed.cluster_lp",
+)
+
+_REGISTRY: Dict[str, "AlgorithmInfo"] = {}
+_builtins_loaded = False
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry record: the builder plus its capability metadata."""
+
+    name: str
+    builder: Builder
+    summary: str
+    stretch_domain: str
+    weighted: bool = True
+    directed: bool = False
+    fault_tolerant: bool = False
+    distributed: bool = False
+    csr_path: bool = False
+
+    def capabilities(self) -> Dict[str, Any]:
+        """JSON-able capability row (used by CLI/introspection)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "stretch_domain": self.stretch_domain,
+            "weighted": self.weighted,
+            "directed": self.directed,
+            "fault_tolerant": self.fault_tolerant,
+            "distributed": self.distributed,
+            "csr_path": self.csr_path,
+        }
+
+
+def register_algorithm(
+    name: str,
+    *,
+    summary: str,
+    stretch_domain: str,
+    weighted: bool = True,
+    directed: bool = False,
+    fault_tolerant: bool = False,
+    distributed: bool = False,
+    csr_path: bool = False,
+) -> Callable[[Builder], Builder]:
+    """Decorator: register ``builder(graph, spec, seed)`` under ``name``.
+
+    Raises :class:`repro.errors.RegistryError` on duplicate names — two
+    modules silently fighting over one name is always a bug.
+    """
+    if not isinstance(name, str) or not name:
+        raise RegistryError(f"algorithm name must be a non-empty str, got {name!r}")
+
+    def decorator(builder: Builder) -> Builder:
+        if name in _REGISTRY:
+            raise RegistryError(
+                f"algorithm {name!r} is already registered "
+                f"(by {_REGISTRY[name].builder.__module__})"
+            )
+        _REGISTRY[name] = AlgorithmInfo(
+            name=name,
+            builder=builder,
+            summary=summary,
+            stretch_domain=stretch_domain,
+            weighted=weighted,
+            directed=directed,
+            fault_tolerant=fault_tolerant,
+            distributed=distributed,
+            csr_path=csr_path,
+        )
+        return builder
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the algorithm modules once so their hooks have run.
+
+    The flag is raised *before* the loop so a registry query made while
+    the builtin modules are themselves importing short-circuits instead
+    of recursing — but a failed import lowers it again, so the next
+    query retries rather than silently serving a half-populated registry.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        _builtins_loaded = False
+        raise
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Sorted names of every registered algorithm."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Look up one algorithm; unknown names list what is available."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithm(name, available=_REGISTRY) from None
+
+
+def describe_algorithms() -> Tuple[Dict[str, Any], ...]:
+    """Capability rows for every registered algorithm, sorted by name."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name].capabilities() for name in sorted(_REGISTRY))
+
+
+__all__ = [
+    "AlgorithmInfo",
+    "available_algorithms",
+    "describe_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+]

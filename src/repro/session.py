@@ -1,0 +1,295 @@
+"""The :class:`Session`: the executing half of the public front door.
+
+A session owns the two pieces of shared state every pipeline needs and
+every ad-hoc call site used to re-plumb by hand:
+
+* **randomness** — specs without an explicit seed get one derived from
+  the session's root stream (:func:`repro.rng.derive_rng` per build), and
+  the resolved seed lands in the report, so any build is replayable as
+  ``spec.replace(seed=report.resolved_seed)``;
+* **CSR snapshots** — before dispatching a build whose ``method``
+  resolves to the CSR path, the session primes
+  :func:`repro.graph.csr.snapshot` on the host and counts cache hits, so
+  :meth:`Session.build_many` over one host pays the O(n + m) snapshot
+  build exactly once (the groundwork for sharded E-suite sweeps).
+
+The contract with algorithms is the registry's builder signature
+(:mod:`repro.registry`); the session adds capability checks (directed
+hosts, fault tolerance), wall-time measurement, and the
+:class:`repro.spec.BuildReport` envelope.
+
+Quickstart::
+
+    from repro import FaultModel, Session, SpannerSpec
+    from repro.graph import connected_gnp_graph
+
+    g = connected_gnp_graph(60, 0.2, seed=0)
+    session = Session()
+    report = session.build(
+        SpannerSpec("theorem21", stretch=3, faults=FaultModel.vertex(2), seed=1),
+        graph=g,
+    )
+    assert session.verify(report, graph=g, mode="sampled")
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .errors import InvalidSpec
+from .graph.csr import maybe_snapshot, resolve_method, snapshot
+from .graph.graph import BaseGraph
+from .graph.io import load_json
+from .registry import AlgorithmInfo, available_algorithms, get_algorithm
+from .rng import RandomLike, derive_rng, ensure_rng
+from .spec import BuildReport, SpannerSpec
+
+#: Fault-set count above which ``verify(mode="auto")`` samples instead of
+#: enumerating (exhaustive verification is exponential in r).
+AUTO_EXHAUSTIVE_LIMIT = 5_000
+
+
+class Session:
+    """Executes :class:`repro.spec.SpannerSpec` builds with shared state.
+
+    Parameters
+    ----------
+    seed:
+        Root randomness for specs that do not pin their own seed. A
+        session constructed with the same root seed replays the same
+        derived seeds in the same build order.
+    """
+
+    def __init__(self, seed: RandomLike = None) -> None:
+        self._root = ensure_rng(seed)
+        self._build_index = 0
+        self._graphs_by_path: Dict[str, BaseGraph] = {}
+        #: CSR snapshots built on behalf of this session's builds.
+        self.snapshot_builds = 0
+        #: Builds that found a still-valid snapshot already cached.
+        self.snapshot_hits = 0
+
+    # -- introspection -------------------------------------------------
+
+    @staticmethod
+    def algorithms() -> Tuple[str, ...]:
+        """Delegate of :func:`repro.registry.available_algorithms`."""
+        return available_algorithms()
+
+    # -- host / seed resolution ---------------------------------------
+
+    def resolve_graph(
+        self, spec: SpannerSpec, graph: Optional[BaseGraph] = None
+    ) -> BaseGraph:
+        """The host graph a build of ``spec`` would run on.
+
+        An explicit ``graph`` argument wins; otherwise the spec's binding
+        is used (instances directly; paths through the session's
+        per-path cache, so repeated builds share one loaded instance and
+        therefore one CSR snapshot).
+        """
+        return self._resolve_graph(spec, graph)
+
+    def _resolve_graph(
+        self, spec: SpannerSpec, graph: Optional[BaseGraph]
+    ) -> BaseGraph:
+        if graph is not None:
+            return graph
+        bound = spec.graph
+        if isinstance(bound, BaseGraph):
+            return bound
+        if isinstance(bound, str):
+            cached = self._graphs_by_path.get(bound)
+            if cached is None:
+                cached = load_json(bound)
+                self._graphs_by_path[bound] = cached
+            return cached
+        raise InvalidSpec(
+            f"spec {spec.algorithm!r} has no host graph: bind one via "
+            "SpannerSpec(graph=...) (instance or JSON path) or pass "
+            "graph= to Session.build"
+        )
+
+    def _resolve_seed(self, spec: SpannerSpec) -> Optional[int]:
+        index = self._build_index
+        self._build_index += 1
+        if spec.seed is not None:
+            return spec.seed
+        return derive_rng(self._root, index).getrandbits(63)
+
+    def _prime_snapshot(self, graph: BaseGraph) -> None:
+        """Build (or reuse) the host's CSR snapshot, counting cache hits.
+
+        ``maybe_snapshot(build=False)`` is the kernel layer's own
+        "already cached and still valid?" probe, so the counters track
+        the cache's real behaviour without duplicating its internals.
+        """
+        if maybe_snapshot(graph, build=False) is not None:
+            self.snapshot_hits += 1
+        else:
+            self.snapshot_builds += 1
+        snapshot(graph)
+
+    # -- building ------------------------------------------------------
+
+    def build(
+        self, spec: SpannerSpec, graph: Optional[BaseGraph] = None
+    ) -> BuildReport:
+        """Execute one spec and return its :class:`BuildReport`.
+
+        Capability mismatches (directed host into an undirected-only
+        algorithm, fault tolerance requested from a plain spanner
+        algorithm, ...) raise :class:`repro.errors.InvalidSpec` before
+        any work happens.
+        """
+        info: AlgorithmInfo = get_algorithm(spec.algorithm)
+        host = self._resolve_graph(spec, graph)
+        self._check_capabilities(info, spec, host)
+        seed = self._resolve_seed(spec)
+        resolved = resolve_method(spec.method, host.num_vertices)
+        # Only algorithms with a CSR path consume a host snapshot; for
+        # the rest (LP/rounding and LOCAL-simulator pipelines) building
+        # one would be pure waste and would inflate the reuse counters.
+        if resolved == "csr" and host.num_vertices and info.csr_path:
+            self._prime_snapshot(host)
+        started = time.perf_counter()
+        artifact, stats = info.builder(host, spec, seed)
+        elapsed = time.perf_counter() - started
+        stats = dict(stats)
+        # A builder that dispatches differently from the generic size
+        # rule (e.g. greedy's always-on indexed kernel) reports the path
+        # it actually took.
+        resolved = stats.pop("resolved_method", resolved)
+        report = BuildReport(
+            spec=spec,
+            artifact=artifact,
+            size=0,
+            resolved_method=resolved,
+            resolved_seed=seed,
+            rng_fingerprint=self._fingerprint(spec, seed),
+            wall_time_s=elapsed,
+            stats=stats,
+        )
+        spanner = report.spanner
+        report.size = (
+            spanner.num_edges if spanner is not None else int(stats.get("size", 0))
+        )
+        return report
+
+    def build_many(
+        self, specs: Iterable[SpannerSpec], graph: Optional[BaseGraph] = None
+    ) -> List[BuildReport]:
+        """Execute many specs, reusing host snapshots across builds.
+
+        Specs sharing a host (the same bound instance, the same bound
+        path, or one ``graph=`` argument) pay for at most one CSR
+        snapshot between them; :attr:`snapshot_hits` counts the reuse.
+        This is the sequential core the sharded sweep drivers split
+        across processes — each shard is a JSON list of specs.
+        """
+        return [self.build(spec, graph=graph) for spec in specs]
+
+    @staticmethod
+    def _check_capabilities(
+        info: AlgorithmInfo, spec: SpannerSpec, host: BaseGraph
+    ) -> None:
+        if host.directed and not info.directed:
+            raise InvalidSpec(
+                f"algorithm {info.name!r} needs an undirected host, got a "
+                "directed graph"
+            )
+        if spec.faults.kind != "none" and not info.fault_tolerant:
+            raise InvalidSpec(
+                f"algorithm {info.name!r} is not fault-tolerant; either use "
+                "FaultModel.none() or wrap it as the base of the 'theorem21' "
+                "conversion (params={'base_algorithm': ...})"
+            )
+
+    @staticmethod
+    def _fingerprint(spec: SpannerSpec, seed: Optional[int]) -> str:
+        blob = f"{spec.fingerprint()}:{seed}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # -- verification --------------------------------------------------
+
+    def verify(
+        self,
+        report: BuildReport,
+        graph: Optional[BaseGraph] = None,
+        mode: str = "auto",
+        trials: int = 100,
+        seed: int = 0,
+    ) -> bool:
+        """Check a report's spanner against its spec's promise.
+
+        ``mode`` is ``"exhaustive"``, ``"sampled"``, ``"lemma31"`` (the
+        2-spanner counting check), or ``"auto"`` — which picks lemma31
+        for stretch-2 specs, exhaustive enumeration while the fault-set
+        count stays under :data:`AUTO_EXHAUSTIVE_LIMIT`, and Monte Carlo
+        sampling beyond.
+        """
+        from .core import (
+            count_fault_sets,
+            is_fault_tolerant_spanner,
+            is_ft_2spanner,
+            sampled_fault_check,
+        )
+        from .core.edge_faults import (
+            is_edge_fault_tolerant_spanner,
+            is_edge_ft_2spanner,
+            sampled_edge_fault_check,
+        )
+        from .spanners import is_spanner
+
+        if mode not in ("auto", "exhaustive", "sampled", "lemma31"):
+            raise InvalidSpec(
+                "verify mode must be 'auto', 'exhaustive', 'sampled', or "
+                f"'lemma31', got {mode!r}"
+            )
+        spec = report.spec
+        spanner = report.spanner
+        if spanner is None:
+            raise InvalidSpec(
+                f"report for {spec.algorithm!r} has no spanner graph to verify"
+            )
+        host = self._resolve_graph(spec, graph)
+        kind, r, k = spec.faults.kind, spec.faults.r, spec.stretch
+        if kind == "none" or r == 0:
+            return is_spanner(spanner, host, k)
+        if mode == "auto":
+            if k == 2:
+                mode = "lemma31"
+            elif count_fault_sets(host.num_vertices, r) <= AUTO_EXHAUSTIVE_LIMIT:
+                mode = "exhaustive"
+            else:
+                mode = "sampled"
+        if kind == "vertex":
+            if mode == "exhaustive":
+                return is_fault_tolerant_spanner(spanner, host, k, r)
+            if mode == "sampled":
+                return sampled_fault_check(
+                    spanner, host, k, r, trials=trials, seed=seed
+                )
+            return is_ft_2spanner(spanner, host, r)
+        # edge faults
+        if mode == "exhaustive":
+            return is_edge_fault_tolerant_spanner(spanner, host, k, r)
+        if mode == "sampled":
+            return sampled_edge_fault_check(
+                spanner, host, k, r, trials=trials, seed=seed
+            )
+        return is_edge_ft_2spanner(spanner, host, r)
+
+
+def build(
+    spec: SpannerSpec,
+    graph: Optional[BaseGraph] = None,
+    seed: RandomLike = None,
+) -> BuildReport:
+    """One-shot convenience: ``Session(seed).build(spec, graph)``."""
+    return Session(seed=seed).build(spec, graph=graph)
+
+
+__all__ = ["AUTO_EXHAUSTIVE_LIMIT", "Session", "build"]

@@ -3,6 +3,12 @@
 These are the "generic spanner algorithms" that the paper's Theorem 2.1
 conversion consumes, plus the verification helpers used throughout the
 test suite and benchmarks.
+
+Each constructor self-registers in :mod:`repro.registry` (``greedy``,
+``baswana-sen``, ``thorup-zwick``, ``tz-oracle``), which is the single
+source of truth for names, capability flags, and CSR-path coverage;
+any of them can serve as the conversion's base via
+``SpannerSpec(..., params={"base_algorithm": <name>})``.
 """
 
 from .baswana_sen import baswana_sen_spanner

@@ -43,6 +43,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..errors import InvalidStretch
 from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import Graph
+from ..registry import register_algorithm
 from ..rng import RandomLike, ensure_rng
 
 try:
@@ -388,3 +389,25 @@ def baswana_sen_spanner(
     if resolved == "csr" and _np is not None:
         return _baswana_sen_csr(graph, k, p, rng)
     return _baswana_sen_dict(graph, k, p, rng)
+
+
+@register_algorithm(
+    "baswana-sen",
+    summary="Baswana–Sen randomized (2t-1)-spanner (the distributed base)",
+    stretch_domain="odd integers 2t-1 (3, 5, 7, ...)",
+    weighted=True,
+    directed=False,
+    csr_path=True,
+)
+def _registry_build(graph: Graph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> baswana_sen_spanner``."""
+    from ..spec import stretch_to_levels
+
+    spanner = baswana_sen_spanner(
+        graph,
+        stretch_to_levels(spec),
+        seed=seed,
+        sample_probability=spec.param("sample_probability"),
+        method=spec.method,
+    )
+    return spanner, {}

@@ -41,6 +41,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..errors import InvalidStretch
 from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
 from ..rng import RandomLike, ensure_rng
 from .thorup_zwick import (
     _CHUNK,
@@ -270,3 +271,37 @@ def build_distance_oracle(
         if snap.scipy_kernels() is not None:
             return _build_oracle_csr(graph, t, vertices, levels)
     return _build_oracle_dict(graph, t, vertices, levels)
+
+
+@register_algorithm(
+    "tz-oracle",
+    summary="Thorup–Zwick approximate distance oracle (stretch 2t-1 queries)",
+    stretch_domain="odd integers 2t-1 (3, 5, 7, ...)",
+    weighted=True,
+    directed=False,
+    csr_path=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> build_distance_oracle``.
+
+    The artifact is the :class:`DistanceOracle` itself (it has no single
+    spanner graph); the report's ``size`` is the stored landmark count —
+    the ``O(t n^{1+1/t})`` quantity of the TZ space bound.
+    """
+    from ..spec import stretch_to_levels
+
+    oracle = build_distance_oracle(
+        graph,
+        stretch_to_levels(spec),
+        seed=seed,
+        sample_probability=spec.param("sample_probability"),
+        method=spec.method,
+    )
+    stats = {
+        "size": oracle.total_size(),
+        "stretch": oracle.stretch,
+        "max_bunch": max(
+            (oracle.bunch_size(v) for v in oracle.bunches), default=0
+        ),
+    }
+    return oracle, stats

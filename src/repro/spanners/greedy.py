@@ -30,6 +30,7 @@ from typing import Hashable, List, Optional, Tuple
 from ..errors import InvalidStretch
 from ..graph.graph import BaseGraph
 from ..graph.paths import distance_at_most
+from ..registry import register_algorithm
 
 Vertex = Hashable
 
@@ -301,3 +302,25 @@ def greedy_spanner_size_first(
     if _check_method(method) == "dict":
         return _greedy_dict(graph, k, max_edges)
     return _greedy_indexed(graph, k, max_edges)
+
+
+@register_algorithm(
+    "greedy",
+    summary="ADD+93 greedy k-spanner (the Corollary 2.2 base construction)",
+    stretch_domain="any real k >= 1",
+    weighted=True,
+    directed=True,
+    csr_path=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> greedy_spanner`` (deterministic)."""
+    max_edges = spec.param("max_edges")
+    if max_edges is not None:
+        spanner = greedy_spanner_size_first(
+            graph, spec.stretch, max_edges, method=spec.method
+        )
+    else:
+        spanner = greedy_spanner(graph, spec.stretch, method=spec.method)
+    # Greedy has no snapshot to amortize, so its indexed kernel runs at
+    # every size — report the true path, not the generic size rule.
+    return spanner, {"resolved_method": _check_method(spec.method)}

@@ -59,6 +59,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..errors import InvalidStretch
 from ..graph.csr import multi_arange, resolve_method, snapshot
 from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
 from ..rng import RandomLike, ensure_rng
 
 try:
@@ -589,3 +590,25 @@ def thorup_zwick_spanner(
         if snap.scipy_kernels() is not None:
             return _thorup_zwick_csr(graph, t, vertices, levels)
     return _thorup_zwick_dict(graph, t, vertices, levels)
+
+
+@register_algorithm(
+    "thorup-zwick",
+    summary="Thorup–Zwick (2t-1)-spanner (the CLPR09 building block)",
+    stretch_domain="odd integers 2t-1 (3, 5, 7, ...)",
+    weighted=True,
+    directed=False,
+    csr_path=True,
+)
+def _registry_build(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> thorup_zwick_spanner``."""
+    from ..spec import stretch_to_levels
+
+    spanner = thorup_zwick_spanner(
+        graph,
+        stretch_to_levels(spec),
+        seed=seed,
+        sample_probability=spec.param("sample_probability"),
+        method=spec.method,
+    )
+    return spanner, {}

@@ -5,6 +5,10 @@ the Lemma 3.2 separation oracle, Algorithm 1 threshold rounding, the
 Moser–Tardos O(log Δ) rounding of Theorem 3.4, an exact branch-and-bound
 solver for tiny instances, and the paper's two integrality-gap
 demonstrations.
+
+The end-to-end approximation drivers self-register in
+:mod:`repro.registry` as ``ft2-approx`` and ``dk10-baseline``
+(fixed stretch 2, directed hosts) for the spec/session front door.
 """
 
 from .approx import ApproxResult, approximate_ft2_spanner, dk10_baseline

@@ -19,6 +19,7 @@ from typing import Hashable, Optional, Tuple
 
 from ..errors import LPError
 from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
 from ..rng import RandomLike
 from .lp_new import FT2LPResult, solve_ft2_lp
 from .lp_old import solve_old_lp
@@ -124,3 +125,68 @@ def dk10_baseline(
         cut_rounds=cut_rounds,
         cuts_added=cuts_added,
     )
+
+
+def _approx_stats(result: ApproxResult) -> dict:
+    """JSON-able certificate row for a :class:`BuildReport`."""
+    return {
+        "lp_objective": result.lp_objective,
+        "cost": result.cost,
+        "ratio_vs_lp": result.ratio_vs_lp,
+        "alpha": result.alpha,
+        "cut_rounds": result.cut_rounds,
+        "cuts_added": result.cuts_added,
+        "rounding_attempts": result.rounding.attempts,
+        "repaired_edges": len(result.rounding.repaired_edges),
+    }
+
+
+@register_algorithm(
+    "ft2-approx",
+    summary="Theorem 3.3 O(log n)-approx minimum-cost r-FT 2-spanner",
+    stretch_domain="exactly 2 (unit lengths, per-edge costs)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+)
+def _registry_build_new(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> approximate_ft2_spanner``."""
+    from ..spec import require_fault_kind, require_stretch
+
+    require_stretch(spec, 2)
+    require_fault_kind(spec, "vertex", "none")
+    result = approximate_ft2_spanner(
+        graph,
+        spec.faults.r,
+        seed=seed,
+        backend=spec.param("backend", "auto"),
+        alpha_constant=spec.param("alpha_constant", 4.0),
+        max_attempts=spec.param("max_attempts", 20),
+    )
+    return result, _approx_stats(result)
+
+
+@register_algorithm(
+    "dk10-baseline",
+    summary="[DK10] O(r log n) baseline (alpha inflated by r)",
+    stretch_domain="exactly 2 (unit lengths, per-edge costs)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+)
+def _registry_build_old(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> dk10_baseline``."""
+    from ..spec import require_fault_kind, require_stretch
+
+    require_stretch(spec, 2)
+    require_fault_kind(spec, "vertex", "none")
+    result = dk10_baseline(
+        graph,
+        spec.faults.r,
+        seed=seed,
+        backend=spec.param("backend", "auto"),
+        alpha_constant=spec.param("alpha_constant", 4.0),
+        max_attempts=spec.param("max_attempts", 20),
+        use_old_lp=spec.param("use_old_lp", False),
+    )
+    return result, _approx_stats(result)

@@ -102,3 +102,62 @@ class TestWithRealAlgorithm:
         assert s.count == 8
         assert 0 < s.mean <= graph.num_edges
         assert s.std >= 0.0
+
+
+class TestSpecSweep:
+    def test_spec_sweep_over_one_host(self):
+        """run_spec_sweep: one session, shared snapshot, stats as metrics."""
+        from repro import SpannerSpec, Session, FaultModel
+        from repro.analysis import run_spec_sweep
+        from repro.graph import complete_graph
+
+        graph = complete_graph(64)
+        session = Session()
+        specs = [
+            SpannerSpec(
+                "theorem21", stretch=3, faults=FaultModel.vertex(1),
+                seed=s, params={"iterations": 4},
+            )
+            for s in range(3)
+        ]
+        result, reports = run_spec_sweep(
+            "sweep", specs, graph=graph, session=session
+        )
+        assert result.num_trials == 3 and len(reports) == 3
+        assert result.seeds == [0, 1, 2]
+        assert all(r["iterations"] == 4.0 for r in result.records)
+        assert result.summary("size").mean > 0
+        # The whole sweep paid for exactly one CSR snapshot.
+        assert session.snapshot_builds == 1
+        assert session.snapshot_hits == 2
+
+    def test_spec_sweep_skip_errors(self):
+        from repro import SpannerSpec
+        from repro.analysis import run_spec_sweep
+        from repro.graph import complete_graph
+
+        graph = complete_graph(30)
+        specs = [
+            SpannerSpec("greedy", stretch=3),
+            SpannerSpec("baswana-sen", stretch=4, seed=1),  # even stretch
+        ]
+        result, reports = run_spec_sweep(
+            "mixed", specs, graph=graph, on_error="skip"
+        )
+        assert result.num_trials == 1 and len(reports) == 1
+
+    def test_spec_sweep_custom_metrics(self):
+        from repro import SpannerSpec
+        from repro.analysis import run_spec_sweep
+        from repro.graph import complete_graph
+
+        graph = complete_graph(20)
+        result, _ = run_spec_sweep(
+            "fractions",
+            [SpannerSpec("greedy", stretch=3)],
+            graph=graph,
+            metrics=lambda rep: {
+                "fraction": rep.size / graph.num_edges,
+            },
+        )
+        assert 0 < result.summary("fraction").mean <= 1.0

@@ -130,3 +130,147 @@ def test_error_reporting(tmp_path, capsys):
                  "--out", path])
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+class TestSharedFlags:
+    """--seed/--method/--json come from one parent parser on every command."""
+
+    @pytest.mark.parametrize("method", ["auto", "csr", "dict"])
+    def test_method_flag_everywhere(self, host_path, capsys, method):
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "6",
+                     "--method", method]) == 0
+        capsys.readouterr()
+
+    def test_method_flag_on_generate(self, tmp_path, capsys):
+        path = str(tmp_path / "g.json")
+        assert main(["generate", "gnp", "--out", path, "--method", "dict"]) == 0
+        capsys.readouterr()
+
+    def test_json_generate(self, tmp_path, capsys):
+        path = str(tmp_path / "g.json")
+        assert main(["generate", "gnp", "--n", "12", "--out", path,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n"] == 12 and doc["out"] == path
+
+    def test_json_ft_spanner(self, host_path, capsys):
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "5",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["algorithm"] == "theorem21"
+        assert doc["verification"]["ok"] is True
+        assert "wall_time_s" not in doc  # byte-stable output
+
+    def test_json_ft2_approx(self, digraph_path, capsys):
+        assert main(["ft2-approx", digraph_path, "--r", "1", "--seed", "8",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["algorithm"] == "ft2-approx"
+        assert doc["stats"]["lp_objective"] > 0
+
+    def test_json_verify(self, host_path, tmp_path, capsys):
+        spanner_path = str(tmp_path / "sp.json")
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "9",
+                     "--out", spanner_path]) == 0
+        capsys.readouterr()
+        assert main(["verify", host_path, spanner_path, "--k", "3", "--r", "1",
+                     "--mode", "sampled", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"mode": "sampled", "k": 3.0, "r": 1, "ok": True}
+
+
+class TestRunSubcommand:
+    def test_run_reproduces_ft_spanner_byte_for_byte(
+        self, host_path, tmp_path, capsys
+    ):
+        """Acceptance gate: `repro run spec.json` == `repro ft-spanner ...`."""
+        spec_path = str(tmp_path / "spec.json")
+        assert main(["ft-spanner", host_path, "--k", "3", "--r", "1",
+                     "--seed", "5", "--spec-out", spec_path, "--json"]) == 0
+        direct = capsys.readouterr().out
+        assert main(["run", spec_path, "--json"]) == 0
+        via_spec = capsys.readouterr().out
+        assert direct == via_spec
+
+    def test_run_executes_handwritten_spec(self, host_path, tmp_path, capsys):
+        spec_path = str(tmp_path / "bs.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "format": "repro-spec",
+                    "version": 1,
+                    "algorithm": "baswana-sen",
+                    "stretch": 3,
+                    "seed": 2,
+                    "graph": host_path,
+                },
+                handle,
+            )
+        assert main(["run", spec_path, "--verify", "none", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["algorithm"] == "baswana-sen"
+        assert doc["size"] > 0
+
+    def test_run_exports_spanner(self, host_path, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        out_path = str(tmp_path / "sp.json")
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "5",
+                     "--spec-out", spec_path]) == 0
+        capsys.readouterr()
+        assert main(["run", spec_path, "--out", out_path]) == 0
+        assert load_json(out_path).num_edges > 0
+
+    def test_run_seed_override_changes_the_build(
+        self, host_path, tmp_path, capsys
+    ):
+        spec_path = str(tmp_path / "spec.json")
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "5",
+                     "--spec-out", spec_path, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["run", spec_path, "--seed", "6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["resolved_seed"] == 6
+        assert doc["spec"]["seed"] == 6
+
+    def test_run_method_override(self, host_path, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        assert main(["ft-spanner", host_path, "--r", "1", "--seed", "5",
+                     "--spec-out", spec_path]) == 0
+        capsys.readouterr()
+        assert main(["run", spec_path, "--method", "dict", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["method"] == "dict"
+        assert doc["resolved_method"] == "dict"
+
+    def test_run_explicit_verify_mode_respected(
+        self, digraph_path, tmp_path, capsys
+    ):
+        spec_path = str(tmp_path / "two.json")
+        assert main(["ft2-approx", digraph_path, "--r", "1", "--seed", "8",
+                     "--spec-out", spec_path]) == 0
+        capsys.readouterr()
+        assert main(["run", spec_path, "--verify", "exhaustive",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verification"]["mode"] == "exhaustive"
+
+    def test_run_bad_spec_is_clean_error(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "bad.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-spec", "algorithm": "nope"}')
+        assert main(["run", spec_path]) == 1
+        assert "available algorithms" in capsys.readouterr().err
+
+
+class TestAlgorithms:
+    def test_table_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        printed = capsys.readouterr().out
+        assert "theorem21" in printed and "baswana-sen" in printed
+
+    def test_json_capabilities(self, capsys):
+        assert main(["algorithms", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in doc["algorithms"]]
+        assert "ft2-approx" in names
+        assert all("fault_tolerant" in row for row in doc["algorithms"])

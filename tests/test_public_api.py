@@ -15,7 +15,10 @@ PACKAGES = [
     "repro.distsim",
     "repro.graph",
     "repro.lp",
+    "repro.registry",
+    "repro.session",
     "repro.spanners",
+    "repro.spec",
     "repro.two_spanner",
 ]
 
@@ -91,3 +94,69 @@ def test_seed_parameter_conventions():
         distributed_padded_decomposition,
     ):
         assert "seed" in inspect.signature(fn).parameters, fn.__name__
+
+
+def test_method_parameter_conventions():
+    """The shared dispatch kwarg reaches every rewired constructor."""
+    import repro
+    from repro.core import edge_fault_tolerant_spanner
+    from repro.distributed import sample_padded_decomposition
+    from repro.spanners import (
+        baswana_sen_spanner,
+        build_distance_oracle,
+        greedy_spanner,
+        thorup_zwick_spanner,
+    )
+
+    for fn in (
+        repro.fault_tolerant_spanner,
+        repro.fault_tolerant_spanner_until_valid,
+        repro.clpr_fault_tolerant_spanner,
+        edge_fault_tolerant_spanner,
+        baswana_sen_spanner,
+        build_distance_oracle,
+        greedy_spanner,
+        thorup_zwick_spanner,
+        sample_padded_decomposition,
+    ):
+        assert "method" in inspect.signature(fn).parameters, fn.__name__
+
+
+def test_registry_is_the_front_door():
+    """Every registered algorithm is introspectable and spec-buildable."""
+    from repro import available_algorithms, get_algorithm
+    from repro.spec import SpannerSpec
+
+    names = available_algorithms()
+    assert len(names) >= 11
+    for name in names:
+        info = get_algorithm(name)
+        assert (info.summary or "").strip(), f"{name} has no summary"
+        assert (info.stretch_domain or "").strip(), f"{name} has no domain"
+        assert callable(info.builder)
+        # A spec naming the algorithm constructs without touching it.
+        SpannerSpec(name, stretch=3)
+
+
+def test_registered_builders_have_docstrings():
+    from repro import available_algorithms, get_algorithm
+
+    undocumented = [
+        name
+        for name in available_algorithms()
+        if not (get_algorithm(name).builder.__doc__ or "").strip()
+    ]
+    assert not undocumented, f"undocumented builders: {undocumented}"
+
+
+def test_spec_front_door_exports():
+    """The typed front door is re-exported at the top level."""
+    import repro
+
+    for name in (
+        "Session", "SpannerSpec", "FaultModel", "BuildReport",
+        "available_algorithms", "get_algorithm", "register_algorithm",
+        "describe_algorithms", "SpecError", "InvalidSpec", "UnknownAlgorithm",
+    ):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
