@@ -16,9 +16,11 @@ effects push it around), and slope(k=5) <= slope(k=3).
 
 from __future__ import annotations
 
+import os
+
 from conftest import run_once
 
-from repro import FaultModel, Session, SpannerSpec
+from repro import FaultModel, SpannerSpec, SweepPlan, run_sweep
 from repro.graph import gnp_random_graph
 from repro.analysis import log_log_slope, print_table
 from repro.spanners import conversion_size_bound
@@ -26,28 +28,32 @@ from repro.spanners import conversion_size_bound
 NS = [60, 90, 140, 200]
 R = 2
 
+#: Worker processes for the sweep driver (see bench_e1; reports are
+#: byte-identical at every worker count).
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
 
 def sweep():
-    # Each spec binds its own host instance; one Session executes the
-    # whole grid (the graph-bound spec list is exactly the shape a
-    # sharded driver would serialize, one JSON spec per shard).
+    # Each spec binds its own host instance; the whole (k, n) grid is one
+    # SweepPlan through the sharded driver — host-grouped shards, one CSR
+    # snapshot per host per worker, merge back in plan order.
     hosts = {n: gnp_random_graph(n, 0.5, seed=n) for n in NS}
-    session = Session()
-    data = {}
-    for k in (3, 5):
-        specs = [
-            SpannerSpec(
-                "theorem21",
-                stretch=k,
-                faults=FaultModel.vertex(R),
-                seed=n + k,
-                params={"schedule": "light", "constant": 1.0},
-                graph=hosts[n],
-            )
-            for n in NS
-        ]
-        data[k] = [report.size for report in session.build_many(specs)]
-    return data
+    specs = [
+        SpannerSpec(
+            "theorem21",
+            stretch=k,
+            faults=FaultModel.vertex(R),
+            seed=n + k,
+            params={"schedule": "light", "constant": 1.0},
+            graph=hosts[n],
+        )
+        for k in (3, 5)
+        for n in NS
+    ]
+    plan = SweepPlan.build(specs, name="e2")
+    reports = run_sweep(plan, workers=WORKERS)
+    sizes = [report.size for report in reports]
+    return {3: sizes[: len(NS)], 5: sizes[len(NS):]}
 
 
 def test_e2_size_vs_n(benchmark):

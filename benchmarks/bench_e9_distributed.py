@@ -22,10 +22,11 @@ the conversion's rounds grow linearly in iterations × k.
 from __future__ import annotations
 
 import math
+import os
 
 from conftest import run_once
 
-from repro import FaultModel, Session, SpannerSpec
+from repro import FaultModel, Session, SpannerSpec, SweepPlan, run_sweep
 from repro.analysis import print_table
 from repro.graph import connected_gnp_graph, gnp_random_digraph
 from repro.two_spanner import solve_ft2_lp
@@ -33,21 +34,39 @@ from repro.two_spanner import solve_ft2_lp
 NS = [10, 14, 20, 28]
 R = 1
 
+#: Worker processes for the sweep driver (see bench_e1; reports are
+#: byte-identical at every worker count).
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
 
 def sweep():
-    # Both sweeps run through one Session; round/cost accounting arrives
-    # in the BuildReport stats, and validity goes through Session.verify.
+    # Both experiment families ride one SweepPlan through the sharded
+    # driver; round/cost accounting arrives in the envelope stats, and
+    # validity goes through Session.verify over the rehydrated spanners
+    # (include_spanner keeps the edge lists in the shard envelopes).
+    hosts = {n: gnp_random_digraph(n, 0.5, seed=n) for n in NS}
+    alg2_specs = [
+        SpannerSpec(
+            "distributed-ft2", stretch=2,
+            faults=FaultModel.vertex(R), seed=n + 1, graph=hosts[n],
+        )
+        for n in NS
+    ]
+    comm = connected_gnp_graph(26, 0.3, seed=50)
+    conv_specs = [
+        SpannerSpec(
+            "distributed-ft", stretch=3, faults=FaultModel.vertex(R),
+            seed=51, params={"iterations": iterations}, graph=comm,
+        )
+        for iterations in (6, 12, 24)
+    ]
+    plan = SweepPlan.build(alg2_specs + conv_specs, name="e9")
+    reports = run_sweep(plan, workers=WORKERS, include_spanner=True)
+
     session = Session()
     alg2_rows = []
-    for n in NS:
-        graph = gnp_random_digraph(n, 0.5, seed=n)
-        report = session.build(
-            SpannerSpec(
-                "distributed-ft2", stretch=2,
-                faults=FaultModel.vertex(R), seed=n + 1,
-            ),
-            graph=graph,
-        )
+    for n, report in zip(NS, reports[: len(NS)]):
+        graph = hosts[n]
         central = solve_ft2_lp(graph, R).objective
         assert session.verify(report, graph=graph, mode="lemma31")
         alg2_rows.append(
@@ -62,16 +81,8 @@ def sweep():
             }
         )
 
-    comm = connected_gnp_graph(26, 0.3, seed=50)
-    conv_specs = [
-        SpannerSpec(
-            "distributed-ft", stretch=3, faults=FaultModel.vertex(R),
-            seed=51, params={"iterations": iterations},
-        )
-        for iterations in (6, 12, 24)
-    ]
     conv_rows = []
-    for spec, report in zip(conv_specs, session.build_many(conv_specs, graph=comm)):
+    for spec, report in zip(conv_specs, reports[len(NS):]):
         iterations = spec.param("iterations")
         assert session.verify(
             report, graph=comm, mode="sampled", trials=30, seed=52

@@ -60,6 +60,7 @@ from .registry import (
 from .session import Session
 from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
 from .spec import BuildReport, FaultModel, SpannerSpec
+from .sweep import SweepPlan, coverage_matrix, emit_grid_plan, run_sweep
 from .two_spanner import (
     approximate_ft2_spanner,
     dk10_baseline,
@@ -81,16 +82,19 @@ __all__ = [
     "Session",
     "SpannerSpec",
     "SpecError",
+    "SweepPlan",
     "UnknownAlgorithm",
     "approximate_ft2_spanner",
     "available_algorithms",
     "baswana_sen_spanner",
     "clpr_fault_tolerant_spanner",
+    "coverage_matrix",
     "describe_algorithms",
     "distributed_ft2_spanner",
     "distributed_ft_spanner",
     "distributed_padded_decomposition",
     "dk10_baseline",
+    "emit_grid_plan",
     "exact_minimum_ft2_spanner",
     "fault_tolerant_spanner",
     "fault_tolerant_spanner_until_valid",
@@ -100,6 +104,7 @@ __all__ = [
     "is_ft_2spanner",
     "moser_tardos_rounding",
     "register_algorithm",
+    "run_sweep",
     "sample_padded_decomposition",
     "sampled_fault_check",
     "solve_ft2_lp",

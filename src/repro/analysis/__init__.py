@@ -4,6 +4,7 @@ from .experiments import (
     ExperimentResult,
     TrialFunction,
     compare_experiments,
+    merge_shard_reports,
     run_experiment,
     run_spec_sweep,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "geometric_mean",
     "growth_ratios",
     "log_log_slope",
+    "merge_shard_reports",
     "print_table",
     "render_table",
     "run_experiment",

@@ -9,8 +9,10 @@ The typed counterpart is :func:`run_spec_sweep`: a list of
 :class:`repro.spec.SpannerSpec` values executed through one
 :class:`repro.session.Session` (so the sweep shares CSR snapshots and
 derived RNG streams), with every report's numeric stats collected as
-metrics. The E-suite benchmarks ride it; because specs serialize to
-JSON, the same sweep splits into shards runnable by ``repro run``.
+metrics. With ``workers > 1`` the same call routes through the sharded
+:func:`repro.sweep.run_sweep` driver — worker processes, persisted shard
+envelopes — and :func:`merge_shard_reports` recombines the shards into
+the very reports (and therefore tables) the sequential path produces.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -26,6 +29,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from .stats import Summary, summarize
@@ -111,6 +115,101 @@ def run_experiment(
     return result
 
 
+def _report_record(
+    report: "BuildReport",
+    metrics: Optional[Callable[["BuildReport"], Mapping[str, float]]],
+) -> Dict[str, float]:
+    """One sweep record: size, wall time, numeric stats, custom metrics.
+
+    Shared by the sequential and sharded paths of :func:`run_spec_sweep`,
+    so the two cannot drift apart in what a table row contains.
+    """
+    record: Dict[str, float] = {
+        "size": float(report.size),
+        "wall_time_s": report.wall_time_s,
+    }
+    for key, value in report.stats.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            record[key] = float(value)
+    if metrics is not None:
+        record.update(metrics(report))
+    return record
+
+
+def merge_shard_reports(
+    shards: Iterable[Union[str, Mapping[str, Any]]],
+) -> List["BuildReport"]:
+    """Recombine shard envelopes into the sequential path's report list.
+
+    ``shards`` are envelope dicts (from :func:`repro.sweep.run_shard`)
+    and/or paths to persisted ``shard-<i>.json`` files. The merge is
+    strict: every envelope must carry the same plan fingerprint, the
+    parent-plan indices must be disjoint, and together they must cover
+    ``0..total-1`` with nothing missing — a merge of half a sweep is an
+    error, not a short table. Reports come back rehydrated
+    (:meth:`repro.spec.BuildReport.from_dict`) in parent-plan order with
+    the envelopes' wall times reattached, so downstream tables are
+    exactly what :meth:`repro.session.Session.build_many` would have
+    produced for the same plan and seeds.
+    """
+    from ..errors import InvalidSpec
+    from ..spec import BuildReport
+    from ..sweep import load_shard_report
+
+    envelopes: List[Mapping[str, Any]] = []
+    for shard in shards:
+        envelopes.append(
+            load_shard_report(shard) if isinstance(shard, str) else shard
+        )
+    if not envelopes:
+        raise InvalidSpec("no shard envelopes to merge")
+    fingerprints = {env.get("plan") for env in envelopes}
+    if len(fingerprints) != 1:
+        raise InvalidSpec(
+            f"shard envelopes come from different plans: {sorted(fingerprints)}"
+        )
+    by_index: Dict[int, Tuple[Mapping[str, Any], float]] = {}
+    for env in envelopes:
+        indices = env.get("indices", [])
+        reports = env.get("reports", [])
+        times = env.get("timing", {}).get("wall_times_s", [0.0] * len(reports))
+        if len(indices) != len(reports):
+            raise InvalidSpec(
+                f"shard {env.get('shard')} has {len(reports)} reports for "
+                f"{len(indices)} indices"
+            )
+        for index, doc, wall in zip(indices, reports, times):
+            if index in by_index:
+                raise InvalidSpec(
+                    f"plan index {index} appears in more than one shard "
+                    "envelope; shards must be disjoint"
+                )
+            by_index[index] = (doc, wall)
+    sizes = {env.get("plan_size") for env in envelopes}
+    if len(sizes) != 1:
+        raise InvalidSpec(
+            f"shard envelopes disagree on the plan size: {sorted(sizes)}"
+        )
+    (total,) = sizes
+    if total is None:
+        total = len(by_index)
+    expected = set(range(total))
+    if set(by_index) != expected:
+        missing = sorted(expected - set(by_index))
+        raise InvalidSpec(
+            f"shard envelopes do not cover the whole plan of {total} specs "
+            f"(missing indices {missing[:10]}); run or collect the missing "
+            "shards before merging"
+        )
+    merged: List["BuildReport"] = []
+    for index in sorted(by_index):
+        doc, wall = by_index[index]
+        report = BuildReport.from_dict(doc)
+        report.wall_time_s = wall
+        merged.append(report)
+    return merged
+
+
 def run_spec_sweep(
     name: str,
     specs: Sequence["SpannerSpec"],
@@ -118,6 +217,9 @@ def run_spec_sweep(
     session: Optional["Session"] = None,
     metrics: Optional[Callable[["BuildReport"], Mapping[str, float]]] = None,
     on_error: str = "raise",
+    workers: int = 1,
+    reports_dir: Optional[str] = None,
+    include_spanner: bool = False,
 ) -> Tuple[ExperimentResult, List["BuildReport"]]:
     """Execute a spec list through one session; collect metrics + reports.
 
@@ -128,6 +230,17 @@ def run_spec_sweep(
     routing sweeps through :meth:`repro.session.Session.build_many`
     semantics instead of per-call plumbing.
 
+    With ``workers > 1`` (or a ``reports_dir``) the sweep routes through
+    :func:`repro.sweep.run_sweep`: the specs become a
+    :class:`repro.sweep.SweepPlan`, shards run in worker processes, shard
+    envelopes are persisted, and the merged reports feed the *same*
+    record extraction — so the resulting tables match the sequential
+    path's for the same specs and seeds. The sharded path requires
+    explicit per-spec seeds (pin them, or resolve a plan first) and
+    returns envelope-rehydrated reports (spanner graphs only under
+    ``include_spanner``; richer artifacts such as oracles do not survive
+    serialization).
+
     Returns the aggregate :class:`ExperimentResult` *and* the raw
     reports, so callers can keep artifacts (spanners, oracles) alongside
     the numbers.
@@ -136,6 +249,44 @@ def run_spec_sweep(
 
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if workers > 1 or reports_dir is not None:
+        from ..errors import InvalidSpec
+        from ..sweep import SweepPlan, run_sweep
+
+        # The sharded path cannot honor these: a failed spec aborts its
+        # whole worker (no per-spec skipping), and a session cannot be
+        # shared across processes. Refuse loudly instead of silently
+        # changing semantics.
+        if on_error == "skip":
+            raise InvalidSpec(
+                "on_error='skip' is not supported with workers/reports_dir; "
+                "sharded sweeps fail the whole run on the first error"
+            )
+        if session is not None:
+            raise InvalidSpec(
+                "a session cannot be shared across sweep worker processes; "
+                "drop session= (each shard runs its own) or use workers=1 "
+                "without reports_dir"
+            )
+        unseeded = [i for i, spec in enumerate(specs) if spec.seed is None]
+        if unseeded:
+            raise InvalidSpec(
+                f"sharded sweeps need explicit per-spec seeds; specs "
+                f"{unseeded[:10]} have none (pin seeds, or build a "
+                "SweepPlan and resolve_seeds it first)"
+            )
+        plan = SweepPlan.build(specs, graph=graph, name=name)
+        reports = run_sweep(
+            plan,
+            workers=workers,
+            reports_dir=reports_dir,
+            include_spanner=include_spanner,
+        )
+        result = ExperimentResult(name=name)
+        for report in reports:
+            result.records.append(_report_record(report, metrics))
+            result.seeds.append(report.resolved_seed)
+        return result, reports
     session = session if session is not None else Session()
     result = ExperimentResult(name=name)
     reports: List["BuildReport"] = []
@@ -146,16 +297,7 @@ def run_spec_sweep(
             if on_error == "raise":
                 raise
             continue
-        record: Dict[str, float] = {
-            "size": float(report.size),
-            "wall_time_s": report.wall_time_s,
-        }
-        for key, value in report.stats.items():
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                record[key] = float(value)
-        if metrics is not None:
-            record.update(metrics(report))
-        result.records.append(record)
+        result.records.append(_report_record(report, metrics))
         seed = report.resolved_seed
         result.seeds.append(seed if seed is not None else index)
         reports.append(report)

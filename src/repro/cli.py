@@ -10,6 +10,13 @@ Commands:
 * ``run`` — execute a JSON :class:`repro.spec.SpannerSpec` file (the
   sharded-sweep workhorse: a ``run`` of a spec written by ``--spec-out``
   reproduces the originating invocation byte-for-byte in ``--json`` mode);
+* ``sweep`` — the sharded sweep driver (:mod:`repro.sweep`): execute a
+  plan JSON across ``--workers`` processes, run one ``--shard i/of``
+  (persisting its envelope for a later ``merge``), ``--emit`` a plan
+  from a parameter grid (refusing points the registry says an algorithm
+  cannot serve), or print the ``--coverage`` matrix;
+* ``merge`` — recombine persisted shard envelopes into the sequential
+  path's report list (byte-identical for the same plan and seeds);
 * ``algorithms`` — the registry's capability table
   (:func:`repro.registry.describe_algorithms`);
 * ``verify`` — check a spanner file against a host file for a given
@@ -29,7 +36,9 @@ and method from the spec file unless the flags are given explicitly.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -47,9 +56,20 @@ from .graph import (
     random_regular_graph,
     to_dot,
 )
+from .analysis.experiments import merge_shard_reports
 from .registry import describe_algorithms
 from .session import Session
 from .spec import BuildReport, FaultModel, SpannerSpec
+from .sweep import (
+    SweepPlan,
+    coverage_matrix,
+    emit_grid_plan,
+    load_shard_report,
+    parse_shard,
+    run_shard,
+    run_sweep,
+    save_shard_report,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -133,6 +153,62 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default: sampled (lemma31 for the stretch-2 pipelines)",
     )
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="sharded sweep driver: run/emit spec-list plans "
+             "(see also `merge`)",
+    )
+    sweep.add_argument("plan", nargs="?", default=None,
+                       help="sweep plan JSON path (see --emit)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes for a full-plan run")
+    sweep.add_argument(
+        "--shard", default=None, metavar="i/of",
+        help="run only this shard of the plan (persist its envelope with "
+             "--reports-dir, then recombine with `repro merge`)",
+    )
+    sweep.add_argument("--reports-dir", default=None,
+                       help="persist one shard-<i>.json envelope per shard here")
+    sweep.add_argument("--include-spanner", action="store_true",
+                       help="carry spanner edge lists inside the envelopes")
+    sweep.add_argument(
+        "--emit", default=None, metavar="OUT",
+        help="emit a plan over a parameter grid to OUT instead of running "
+             "(needs --graph and --algorithms; refuses unsupported points)",
+    )
+    sweep.add_argument("--graph", action="append", default=None,
+                       help="host graph JSON path for --emit (repeatable)")
+    sweep.add_argument("--algorithms", default=None,
+                       help="comma-separated registry names for --emit")
+    sweep.add_argument("--stretch", default="3",
+                       help="comma-separated stretch values (default 3)")
+    sweep.add_argument("--r", default="1",
+                       help="comma-separated fault tolerances; 0 = no faults "
+                            "(default 1)")
+    sweep.add_argument("--fault-kind", choices=["vertex", "edge"],
+                       default="vertex",
+                       help="fault model of the r > 0 grid points")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="seeds per grid point (values seed..seed+N-1)")
+    sweep.add_argument("--params", default=None,
+                       help="JSON object of params applied to every spec")
+    sweep.add_argument("--name", default="sweep", help="plan name")
+    sweep.add_argument("--skip-unsupported", action="store_true",
+                       help="drop unsupported grid points instead of refusing")
+    sweep.add_argument("--coverage", action="store_true",
+                       help="print the registry's coverage matrix and exit")
+
+    merge = sub.add_parser(
+        "merge", parents=[common],
+        help="recombine sweep shard envelopes into the sequential report list",
+    )
+    merge.add_argument(
+        "shards", nargs="+",
+        help="shard-<i>.json envelope files and/or reports directories",
+    )
+    merge.add_argument("--out", default=None,
+                       help="also write the merged result JSON here")
 
     sub.add_parser(
         "algorithms", parents=[common],
@@ -395,6 +471,191 @@ def _cmd_run(args) -> int:
     )
 
 
+def _split_csv(text: str, cast, flag: str) -> list:
+    """Parse a comma-separated CLI list with an actionable error."""
+    kind = "numeric" if cast is _number else cast.__name__
+    try:
+        values = [cast(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise ReproError(
+            f"{flag} must be a comma-separated list of {kind} "
+            f"values, got {text!r}"
+        ) from None
+    if not values:
+        raise ReproError(f"{flag} must name at least one value, got {text!r}")
+    return values
+
+
+def _number(text: str) -> float:
+    """Stretch values: ints stay ints (spec JSON identity), else float."""
+    value = float(text)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"stretch must be finite, got {text!r}")
+    return int(value) if value == int(value) else value
+
+
+def _sweep_result_doc(fingerprint: str, reports) -> dict:
+    """The deterministic merged-sweep document.
+
+    Identical whether produced by ``sweep --workers N`` or by ``merge``
+    over persisted shard envelopes — the byte-identity the CI smoke step
+    diffs. Timing never enters (see ``BuildReport.to_dict``).
+    """
+    return {
+        "format": "repro-sweep-result",
+        "version": 1,
+        "plan": fingerprint,
+        "count": len(reports),
+        "reports": [report.to_dict() for report in reports],
+    }
+
+
+def _sweep_rows(reports) -> list:
+    return [
+        [
+            index, r.spec.algorithm, r.spec.stretch, r.spec.faults.kind,
+            r.spec.faults.r, r.resolved_seed, r.size, r.resolved_method,
+        ]
+        for index, r in enumerate(reports)
+    ]
+
+
+_SWEEP_HEADER = ["#", "algorithm", "k", "faults", "r", "seed", "size", "method"]
+
+
+def _cmd_sweep(args) -> int:
+    # Refuse flag combinations that would silently do less than asked.
+    if (args.emit or args.coverage) and args.plan is not None:
+        raise ReproError(
+            "sweep --emit/--coverage do not read a plan argument; drop "
+            f"{args.plan!r} (emit writes a new plan from the grid flags)"
+        )
+    if args.shard is not None and args.workers != 1:
+        raise ReproError(
+            "--shard runs one shard in this process; --workers does not "
+            "apply (run the full plan with --workers, or shards without it)"
+        )
+    if args.coverage:
+        rows = coverage_matrix()
+        if args.json:
+            _print_json({"coverage": rows})
+        else:
+            columns = [key for key in rows[0] if key != "algorithm"]
+            print(render_table(
+                ["algorithm", *columns],
+                [[row["algorithm"],
+                  *[("yes" if row[c] else "-") for c in columns]]
+                 for row in rows],
+                title="registry coverage matrix (emitter refuses '-' points)",
+            ))
+        return 0
+    if args.emit:
+        if not args.graph or not args.algorithms:
+            raise ReproError(
+                "sweep --emit needs at least one --graph and --algorithms"
+            )
+        try:
+            params = json.loads(args.params) if args.params else None
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--params is not valid JSON: {exc}") from None
+        plan = emit_grid_plan(
+            algorithms=_split_csv(args.algorithms, str, "--algorithms"),
+            stretches=_split_csv(args.stretch, _number, "--stretch"),
+            rs=_split_csv(args.r, int, "--r"),
+            hosts={path: path for path in args.graph},
+            fault_kind=args.fault_kind,
+            seeds=args.seeds,
+            seed_base=_seed_of(args),
+            method=_method_of(args),
+            params=params,
+            name=args.name,
+            skip_unsupported=args.skip_unsupported,
+        )
+        plan.save(args.emit)
+        if args.json:
+            _print_json({
+                "plan": plan.fingerprint(),
+                "specs": len(plan),
+                "hosts": sorted(plan.hosts),
+                "skipped": list(plan.skipped),
+                "out": args.emit,
+            })
+        else:
+            print(
+                f"wrote plan {plan.fingerprint()} ({len(plan)} specs over "
+                f"{len(plan.hosts)} hosts) to {args.emit}"
+            )
+            for entry in plan.skipped:
+                print(f"  skipped unsupported point {entry}")
+        return 0
+    if args.plan is None:
+        raise ReproError("sweep needs a plan JSON path (or --emit/--coverage)")
+    plan = SweepPlan.load(args.plan).resolve_seeds(_seed_of(args))
+    if args.shard is not None:
+        index, of = parse_shard(args.shard)
+        envelope = run_shard(
+            plan.shard(index, of), include_spanner=args.include_spanner
+        )
+        path = None
+        if args.reports_dir is not None:
+            path = save_shard_report(envelope, args.reports_dir)
+        if args.json:
+            _print_json(envelope)
+        else:
+            where = f" -> {path}" if path else ""
+            print(
+                f"shard {index}/{of} of plan {envelope['plan']}: "
+                f"{len(envelope['reports'])} builds{where}"
+            )
+        return 0
+    reports = run_sweep(
+        plan,
+        workers=args.workers,
+        reports_dir=args.reports_dir,
+        include_spanner=args.include_spanner,
+    )
+    if args.json:
+        _print_json(_sweep_result_doc(plan.fingerprint(), reports))
+    else:
+        print(render_table(
+            _SWEEP_HEADER, _sweep_rows(reports),
+            title=f"sweep {plan.name}: {len(reports)} builds, "
+                  f"workers={args.workers}",
+        ))
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    paths: List[str] = []
+    for entry in args.shards:
+        if os.path.isdir(entry):
+            # Lexicographic order is enough: merge_shard_reports orders
+            # reports by their parent-plan indices, not file order.
+            found = sorted(glob.glob(os.path.join(entry, "shard-*.json")))
+            if not found:
+                raise ReproError(f"no shard-*.json envelopes under {entry}")
+            paths.extend(found)
+        else:
+            paths.append(entry)
+    envelopes = [load_shard_report(path) for path in paths]
+    reports = merge_shard_reports(envelopes)
+    doc = _sweep_result_doc(envelopes[0]["plan"], reports)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+    if args.json:
+        _print_json(doc)
+    else:
+        print(render_table(
+            _SWEEP_HEADER, _sweep_rows(reports),
+            title=f"merged {len(envelopes)} shard envelopes: "
+                  f"{len(reports)} builds",
+        ))
+        if args.out:
+            print(f"merged result written to {args.out}")
+    return 0
+
+
 def _cmd_algorithms(args) -> int:
     rows = describe_algorithms()
     if args.json:
@@ -450,6 +711,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ft-spanner": _cmd_ft_spanner,
         "ft2-approx": _cmd_ft2_approx,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
         "algorithms": _cmd_algorithms,
         "verify": _cmd_verify,
     }

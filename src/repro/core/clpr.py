@@ -215,6 +215,7 @@ def clpr_fault_tolerant_spanner(
     directed=False,
     fault_tolerant=True,
     csr_path=True,
+    stretch_kind="odd",
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> clpr_fault_tolerant_spanner``."""

@@ -477,3 +477,116 @@ def _registry_build(graph: BaseGraph, spec, seed):
         # unless the dict pipeline was forced.
         stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
     return result, stats
+
+
+#: Accepted keys of the ``until_valid`` params mapping, with defaults.
+UNTIL_VALID_DEFAULTS = {
+    "check": "sampled",
+    "trials": 30,
+    "seed": 0,
+    "batch": 8,
+    "max_iterations": 100_000,
+}
+
+
+def resolve_validity_check(
+    spec, graph: BaseGraph
+) -> "tuple[Callable[[BaseGraph], bool], dict]":
+    """Build the adaptive variant's validity predicate from spec params.
+
+    The predicate is spec-expressible (plain JSON under
+    ``params={"until_valid": {...}}``) so sweep plans can carry adaptive
+    builds: ``check`` is ``"sampled"`` (Monte Carlo over ``trials`` fault
+    sets, deterministic under the check's own ``seed``) or
+    ``"exhaustive"``; ``batch`` / ``max_iterations`` tune the loop.
+    Returns the predicate plus the fully-resolved knobs dict.
+    """
+    knobs = dict(UNTIL_VALID_DEFAULTS)
+    given = spec.param("until_valid", {})
+    if not isinstance(given, dict):
+        raise InvalidSpec(
+            f"params['until_valid'] must be a mapping, got {given!r}"
+        )
+    unknown = set(given) - set(knobs)
+    if unknown:
+        raise InvalidSpec(
+            f"params['until_valid'] has unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(knobs)}"
+        )
+    knobs.update(given)
+    if knobs["check"] not in ("sampled", "exhaustive"):
+        raise InvalidSpec(
+            "params['until_valid']['check'] must be 'sampled' or "
+            f"'exhaustive', got {knobs['check']!r}"
+        )
+    for key, minimum in (
+        ("trials", 1), ("seed", None), ("batch", 1), ("max_iterations", 1)
+    ):
+        value = knobs[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise InvalidSpec(
+                f"params['until_valid'][{key!r}] must be an int, got {value!r}"
+            )
+        if minimum is not None and value < minimum:
+            raise InvalidSpec(
+                f"params['until_valid'][{key!r}] must be >= {minimum}, "
+                f"got {value}"
+            )
+    k, r = spec.stretch, spec.faults.r
+    if knobs["check"] == "exhaustive":
+        from .verify import is_fault_tolerant_spanner
+
+        def validity(union: BaseGraph) -> bool:
+            return is_fault_tolerant_spanner(union, graph, k, r)
+
+    else:
+        from .verify import sampled_fault_check
+
+        trials, check_seed = knobs["trials"], knobs["seed"]
+
+        def validity(union: BaseGraph) -> bool:
+            return sampled_fault_check(
+                union, graph, k, r, trials=trials, seed=check_seed
+            )
+
+    return validity, knobs
+
+
+@register_algorithm(
+    "theorem21-adaptive",
+    summary="Theorem 2.1 conversion run until a validity check accepts",
+    stretch_domain="inherits the base algorithm's domain (any k >= 1 for greedy)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+    fault_kinds=("vertex",),
+    csr_path=True,
+)
+def _registry_build_adaptive(graph: BaseGraph, spec, seed):
+    """Spec adapter: ``SpannerSpec -> fault_tolerant_spanner_until_valid``.
+
+    The E1/E3 ablations measure how many iterations suffice *in practice*
+    versus the theorem's ``r^3 log n`` schedule; registering the adaptive
+    driver lets sweep plans carry those points, with the stopping rule
+    serialized in ``params={"until_valid": {...}}``.
+    """
+    from ..spec import require_fault_kind
+
+    require_fault_kind(spec, "vertex")
+    validity, knobs = resolve_validity_check(spec, graph)
+    result = fault_tolerant_spanner_until_valid(
+        graph,
+        spec.stretch,
+        spec.faults.r,
+        validity,
+        base_algorithm=resolve_base_algorithm(spec, seed),
+        batch=knobs["batch"],
+        max_iterations=knobs["max_iterations"],
+        seed=seed,
+        method=spec.method,
+    )
+    stats = conversion_stats_dict(result.stats)
+    stats["until_valid"] = knobs
+    if spec.param("base_algorithm", "greedy") == "greedy":
+        stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
+    return result, stats

@@ -250,6 +250,7 @@ def is_edge_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
     # host CSR snapshot (edge subgraphs are materialized as dicts), so
     # sessions should not prime one.
     csr_path=False,
+    fault_kinds=("none", "edge"),
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> edge_fault_tolerant_spanner``."""

@@ -263,6 +263,8 @@ def distributed_ft2_spanner(
     directed=True,
     fault_tolerant=True,
     distributed=True,
+    stretch_kind="fixed",
+    fixed_stretch=2,
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> distributed_ft2_spanner``."""

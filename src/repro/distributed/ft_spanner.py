@@ -118,6 +118,7 @@ def distributed_ft_spanner(
     directed=False,
     fault_tolerant=True,
     distributed=True,
+    stretch_kind="odd",
 )
 def _registry_build(graph: Graph, spec, seed):
     """Spec adapter: ``SpannerSpec -> distributed_ft_spanner``."""

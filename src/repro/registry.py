@@ -30,9 +30,12 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .errors import RegistryError, UnknownAlgorithm
+
+#: Accepted values of the machine-readable ``stretch_kind`` capability.
+STRETCH_KINDS = ("any", "odd", "fixed")
 
 #: Builder signature: (graph, spec, seed) -> (artifact, stats).
 Builder = Callable[..., Tuple[Any, Dict[str, Any]]]
@@ -57,7 +60,14 @@ _builtins_loaded = False
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """Registry record: the builder plus its capability metadata."""
+    """Registry record: the builder plus its capability metadata.
+
+    ``stretch_domain`` stays the human-readable sentence shown in the
+    capability table; ``fault_kinds`` / ``stretch_kind`` /
+    ``fixed_stretch`` are its machine-readable counterparts, which the
+    sweep plan emitter (:mod:`repro.sweep`) uses to refuse grid points an
+    algorithm cannot serve before any worker process is spawned.
+    """
 
     name: str
     builder: Builder
@@ -68,6 +78,12 @@ class AlgorithmInfo:
     fault_tolerant: bool = False
     distributed: bool = False
     csr_path: bool = False
+    #: Fault-model kinds the builder accepts (subset of spec.FAULT_KINDS).
+    fault_kinds: Tuple[str, ...] = ("none",)
+    #: "any" (any real k >= 1), "odd" (odd integers 2t-1), or "fixed".
+    stretch_kind: str = "any"
+    #: The single accepted stretch when ``stretch_kind == "fixed"``.
+    fixed_stretch: Optional[float] = None
 
     def capabilities(self) -> Dict[str, Any]:
         """JSON-able capability row (used by CLI/introspection)."""
@@ -80,7 +96,42 @@ class AlgorithmInfo:
             "fault_tolerant": self.fault_tolerant,
             "distributed": self.distributed,
             "csr_path": self.csr_path,
+            "fault_kinds": list(self.fault_kinds),
+            "stretch_kind": self.stretch_kind,
+            "fixed_stretch": self.fixed_stretch,
         }
+
+    def supports_stretch(self, stretch: float) -> bool:
+        """Whether ``stretch`` lies in the machine-readable domain."""
+        if self.stretch_kind == "fixed":
+            return stretch == self.fixed_stretch
+        if self.stretch_kind == "odd":
+            return stretch >= 1 and stretch == int(stretch) and int(stretch) % 2 == 1
+        return stretch >= 1
+
+    def unsupported_reason(
+        self, fault_kind: str, r: int, stretch: float
+    ) -> Optional[str]:
+        """Why a ``(fault_kind, r, stretch)`` point cannot be served.
+
+        Returns ``None`` when the point is in-domain. This is the single
+        predicate behind the sweep emitter's refusals and the E-suite
+        coverage matrix, so both always agree with the registry.
+        """
+        if fault_kind not in self.fault_kinds:
+            accepted = "/".join(self.fault_kinds)
+            return (
+                f"{self.name!r} serves fault kinds {accepted}, "
+                f"not {fault_kind!r}"
+            )
+        if fault_kind != "none" and r < 1:
+            return f"fault kind {fault_kind!r} needs r >= 1, got r={r}"
+        if not self.supports_stretch(stretch):
+            return (
+                f"{self.name!r} needs stretch in its domain "
+                f"({self.stretch_domain}), got {stretch!r}"
+            )
+        return None
 
 
 def register_algorithm(
@@ -93,14 +144,45 @@ def register_algorithm(
     fault_tolerant: bool = False,
     distributed: bool = False,
     csr_path: bool = False,
+    fault_kinds: Optional[Tuple[str, ...]] = None,
+    stretch_kind: str = "any",
+    fixed_stretch: Optional[float] = None,
 ) -> Callable[[Builder], Builder]:
     """Decorator: register ``builder(graph, spec, seed)`` under ``name``.
 
-    Raises :class:`repro.errors.RegistryError` on duplicate names — two
-    modules silently fighting over one name is always a bug.
+    ``fault_kinds`` defaults from the ``fault_tolerant`` flag —
+    ``("none", "vertex")`` for fault-tolerant builders, ``("none",)``
+    otherwise — and must stay consistent with it; the machine-readable
+    stretch fields must describe a non-empty domain. Raises
+    :class:`repro.errors.RegistryError` on duplicate names — two modules
+    silently fighting over one name is always a bug.
     """
     if not isinstance(name, str) or not name:
         raise RegistryError(f"algorithm name must be a non-empty str, got {name!r}")
+    if fault_kinds is None:
+        fault_kinds = ("none", "vertex") if fault_tolerant else ("none",)
+    fault_kinds = tuple(fault_kinds)
+    unknown = [k for k in fault_kinds if k not in ("none", "vertex", "edge")]
+    if unknown or not fault_kinds:
+        raise RegistryError(
+            f"algorithm {name!r}: fault_kinds must be a non-empty subset of "
+            f"('none', 'vertex', 'edge'), got {fault_kinds!r}"
+        )
+    if fault_tolerant != any(kind != "none" for kind in fault_kinds):
+        raise RegistryError(
+            f"algorithm {name!r}: fault_kinds {fault_kinds!r} contradict "
+            f"fault_tolerant={fault_tolerant}"
+        )
+    if stretch_kind not in STRETCH_KINDS:
+        raise RegistryError(
+            f"algorithm {name!r}: stretch_kind must be one of {STRETCH_KINDS}, "
+            f"got {stretch_kind!r}"
+        )
+    if (stretch_kind == "fixed") != (fixed_stretch is not None):
+        raise RegistryError(
+            f"algorithm {name!r}: stretch_kind='fixed' and fixed_stretch must "
+            f"be given together, got {stretch_kind!r} / {fixed_stretch!r}"
+        )
 
     def decorator(builder: Builder) -> Builder:
         if name in _REGISTRY:
@@ -118,6 +200,9 @@ def register_algorithm(
             fault_tolerant=fault_tolerant,
             distributed=distributed,
             csr_path=csr_path,
+            fault_kinds=fault_kinds,
+            stretch_kind=stretch_kind,
+            fixed_stretch=fixed_stretch,
         )
         return builder
 
@@ -167,6 +252,7 @@ def describe_algorithms() -> Tuple[Dict[str, Any], ...]:
 
 __all__ = [
     "AlgorithmInfo",
+    "STRETCH_KINDS",
     "available_algorithms",
     "describe_algorithms",
     "get_algorithm",

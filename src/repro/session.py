@@ -51,6 +51,19 @@ from .spec import BuildReport, SpannerSpec
 AUTO_EXHAUSTIVE_LIMIT = 5_000
 
 
+def derive_build_seed(root, index: int) -> int:
+    """The seed a session with root stream ``root`` derives at ``index``.
+
+    This is the one seed-derivation rule of the library: sessions call it
+    per unseeded build, and :meth:`repro.sweep.SweepPlan.resolve_seeds`
+    replays it over a whole plan so that sharded workers — each with its
+    own session — resolve exactly the seeds one sequential session would
+    have. Consumes one 64-bit draw from ``root`` (callers must therefore
+    invoke it only for unseeded builds, in build order).
+    """
+    return derive_rng(root, index).getrandbits(63)
+
+
 class Session:
     """Executes :class:`repro.spec.SpannerSpec` builds with shared state.
 
@@ -117,7 +130,7 @@ class Session:
         self._build_index += 1
         if spec.seed is not None:
             return spec.seed
-        return derive_rng(self._root, index).getrandbits(63)
+        return derive_build_seed(self._root, index)
 
     def _prime_snapshot(self, graph: BaseGraph) -> None:
         """Build (or reuse) the host's CSR snapshot, counting cache hits.
@@ -206,10 +219,20 @@ class Session:
                 "FaultModel.none() or wrap it as the base of the 'theorem21' "
                 "conversion (params={'base_algorithm': ...})"
             )
+        if spec.faults.kind not in info.fault_kinds:
+            raise InvalidSpec(
+                f"algorithm {info.name!r} serves fault kinds "
+                f"{'/'.join(info.fault_kinds)}, got {spec.faults.kind!r}"
+            )
 
     @staticmethod
     def _fingerprint(spec: SpannerSpec, seed: Optional[int]) -> str:
-        blob = f"{spec.fingerprint()}:{seed}".encode("utf-8")
+        # The spec's own seed field is normalized out: the resolved seed
+        # already enters the blob, so a build whose seed was derived by
+        # the session and its explicit-seed replay (spec.replace(seed=
+        # report.resolved_seed), e.g. a resolved sweep-plan shard) carry
+        # the same fingerprint for the same computation.
+        blob = f"{spec.replace(seed=None).fingerprint()}:{seed}".encode("utf-8")
         return hashlib.sha256(blob).hexdigest()[:16]
 
     # -- verification --------------------------------------------------
@@ -292,4 +315,4 @@ def build(
     return Session(seed=seed).build(spec, graph=graph)
 
 
-__all__ = ["AUTO_EXHAUSTIVE_LIMIT", "Session", "build"]
+__all__ = ["AUTO_EXHAUSTIVE_LIMIT", "Session", "build", "derive_build_seed"]

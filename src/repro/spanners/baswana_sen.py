@@ -398,6 +398,7 @@ def baswana_sen_spanner(
     weighted=True,
     directed=False,
     csr_path=True,
+    stretch_kind="odd",
 )
 def _registry_build(graph: Graph, spec, seed):
     """Spec adapter: ``SpannerSpec -> baswana_sen_spanner``."""

@@ -280,6 +280,7 @@ def build_distance_oracle(
     weighted=True,
     directed=False,
     csr_path=True,
+    stretch_kind="odd",
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> build_distance_oracle``.

@@ -599,6 +599,7 @@ def thorup_zwick_spanner(
     weighted=True,
     directed=False,
     csr_path=True,
+    stretch_kind="odd",
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> thorup_zwick_spanner``."""

@@ -1,0 +1,719 @@
+"""``repro sweep``: sharded multi-process execution of spec lists.
+
+The E-suite experiments are embarrassingly parallel over
+``(host, k, r, seed)`` points; this module is the driver that exploits
+it without giving up a single byte of reproducibility:
+
+* :class:`SweepPlan` — an ordered list of :class:`repro.spec.SpannerSpec`
+  values plus a table of *shared host refs* (each host graph is stored
+  once, whether inline or as a path, no matter how many specs run on it),
+  JSON round-tripping exactly like a spec;
+* :meth:`SweepPlan.resolve_seeds` — replays the session seed-derivation
+  rule (:func:`repro.session.derive_build_seed`) over the plan, so every
+  spec carries the seed a sequential :meth:`repro.session.Session
+  .build_many` would have resolved for it;
+* :meth:`SweepPlan.shard` — a deterministic, seed-preserving,
+  host-grouped partition: specs are ordered by host first-appearance and
+  cut into ``of`` contiguous chunks, so each worker primes one CSR
+  snapshot per host it owns;
+* :func:`run_sweep` — the :mod:`multiprocessing` driver: each shard runs
+  in a worker process, persists one :class:`repro.spec.BuildReport`
+  envelope file (``shard-<i>.json``) with wall times kept *outside* the
+  report list, and the merge layer
+  (:func:`repro.analysis.experiments.merge_shard_reports`) recombines
+  shards into exactly the sequential path's reports — byte-identical for
+  the same plan and seeds;
+* :func:`emit_grid_plan` / :func:`coverage_matrix` — the plan emitter
+  over a parameter grid, driven by the registry's machine-readable
+  capability flags so unsupported ``(algorithm, fault kind, stretch)``
+  points are refused before any worker is spawned.
+
+The CLI surface is ``repro sweep`` / ``repro merge``
+(:mod:`repro.cli`); the E1/E2/E9 benchmarks ride :func:`run_sweep`
+directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import InvalidSpec
+from .graph.graph import BaseGraph
+from .graph.io import graph_from_dict, graph_to_dict, load_json
+from .registry import get_algorithm
+from .rng import RandomLike, ensure_rng
+from .spec import FAULT_KINDS, FaultModel, SpannerSpec
+
+#: Format tags stamped into serialized sweep documents.
+PLAN_FORMAT = "repro-sweep-plan"
+SHARD_FORMAT = "repro-sweep-shard"
+SWEEP_VERSION = 1
+
+#: File-name pattern of persisted shard envelopes.
+SHARD_FILE = "shard-{index}.json"
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse the CLI's ``i/of`` shard syntax into ``(index, of)``."""
+    try:
+        index_text, of_text = text.split("/", 1)
+        index, of = int(index_text), int(of_text)
+    except ValueError:
+        raise InvalidSpec(
+            f"shard must look like 'i/of' (e.g. 0/4), got {text!r}"
+        ) from None
+    if of < 1 or not 0 <= index < of:
+        raise InvalidSpec(
+            f"shard index must satisfy 0 <= i < of with of >= 1, got {text!r}"
+        )
+    return index, of
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered spec list with shared host refs — the unit of sharding.
+
+    ``specs`` carry no graph bindings of their own; ``host_keys[i]`` names
+    the entry of ``hosts`` that spec ``i`` runs on (a path string or an
+    inline :class:`repro.graph.graph.BaseGraph`). ``indices`` are the
+    positions in the *parent* plan (identity for a full plan), and
+    ``shard_id`` / ``plan_fingerprint`` identify a shard's provenance so the
+    merge layer can verify it recombines pieces of one plan.
+
+    Construct full plans with :meth:`build` (which hoists per-spec graph
+    bindings into the shared host table) rather than the raw constructor.
+    """
+
+    specs: Tuple[SpannerSpec, ...]
+    host_keys: Tuple[str, ...]
+    hosts: Mapping[str, Any]
+    name: str = "sweep"
+    indices: Optional[Tuple[int, ...]] = None
+    shard_id: Optional[Tuple[int, int]] = None
+    plan_fingerprint: Optional[str] = None
+    plan_size: Optional[int] = None
+    #: Emission metadata only (grid points :func:`emit_grid_plan` dropped
+    #: under ``skip_unsupported``, with reasons). Not serialized — a
+    #: loaded plan reports no skips.
+    skipped: Tuple[str, ...] = field(default=(), compare=False)
+    _graph_cache: Dict[str, BaseGraph] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.specs) != len(self.host_keys):
+            raise InvalidSpec(
+                f"plan has {len(self.specs)} specs but "
+                f"{len(self.host_keys)} host keys"
+            )
+        for key in self.host_keys:
+            if key not in self.hosts:
+                raise InvalidSpec(
+                    f"plan references host {key!r} but its hosts table only "
+                    f"has {sorted(self.hosts)}"
+                )
+        for key, host in self.hosts.items():
+            if not isinstance(host, (str, BaseGraph)):
+                raise InvalidSpec(
+                    f"hosts[{key!r}] must be a path str or a repro graph, "
+                    f"got {host!r}"
+                )
+        for spec in self.specs:
+            if spec.graph is not None:
+                raise InvalidSpec(
+                    "plan specs must not carry their own graph binding "
+                    "(hosts are shared through the plan's host table); "
+                    "use SweepPlan.build(...) to hoist bindings"
+                )
+        if self.indices is not None and len(self.indices) != len(self.specs):
+            raise InvalidSpec(
+                f"plan has {len(self.specs)} specs but {len(self.indices)} "
+                "parent indices"
+            )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        specs: Sequence[SpannerSpec],
+        graph: Optional[BaseGraph] = None,
+        name: str = "sweep",
+    ) -> "SweepPlan":
+        """Build a full plan, hoisting graph bindings into shared hosts.
+
+        Specs bound to the same in-memory graph instance (or the same
+        path) share one host entry; specs with no binding fall back to
+        the ``graph`` argument. Paths are kept as refs (workers load
+        them); instances are serialized inline exactly once.
+        """
+        bindings: List[Any] = []
+        for position, spec in enumerate(specs):
+            bound = spec.graph if spec.graph is not None else graph
+            if bound is None:
+                raise InvalidSpec(
+                    f"plan spec #{position} ({spec.algorithm!r}) has no host: "
+                    "bind one via SpannerSpec(graph=...) or pass graph= to "
+                    "SweepPlan.build"
+                )
+            bindings.append(bound)
+        # Path hosts claim their keys (the path itself) first; inline
+        # instances then pick generated names around them, so a path that
+        # happens to be called "host-0" can never collide with (or be
+        # clobbered by) a generated inline key.
+        hosts: Dict[str, Any] = {
+            bound: bound for bound in bindings if isinstance(bound, str)
+        }
+        keys_by_id: Dict[int, str] = {}
+        counter = 0
+        host_keys: List[str] = []
+        for bound in bindings:
+            if isinstance(bound, str):
+                key = bound
+            else:
+                key = keys_by_id.get(id(bound))
+                if key is None:
+                    key = f"host-{counter}"
+                    counter += 1
+                    while key in hosts:
+                        key = f"host-{counter}"
+                        counter += 1
+                    keys_by_id[id(bound)] = key
+                    hosts[key] = bound
+            host_keys.append(key)
+        stripped = tuple(
+            spec if spec.graph is None else spec.replace(graph=None)
+            for spec in specs
+        )
+        return cls(
+            specs=stripped,
+            host_keys=tuple(host_keys),
+            hosts=hosts,
+            name=name,
+        )
+
+    # -- basic queries -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def is_resolved(self) -> bool:
+        """Whether every spec carries an explicit seed."""
+        return all(spec.seed is not None for spec in self.specs)
+
+    @property
+    def total_size(self) -> int:
+        """Spec count of the (parent) plan — what a full merge must cover."""
+        return self.plan_size if self.plan_size is not None else len(self.specs)
+
+    @property
+    def parent_indices(self) -> Tuple[int, ...]:
+        """Positions in the parent plan (identity for a full plan)."""
+        if self.indices is not None:
+            return self.indices
+        return tuple(range(len(self.specs)))
+
+    def host_graph(self, key: str) -> BaseGraph:
+        """The host graph behind ``key`` (paths loaded once per plan)."""
+        host = self.hosts[key]
+        if isinstance(host, BaseGraph):
+            return host
+        cached = self._graph_cache.get(key)
+        if cached is None:
+            cached = load_json(host)
+            self._graph_cache[key] = cached
+        return cached
+
+    def fingerprint(self) -> str:
+        """Stable digest identifying the (parent) plan *and its hosts*.
+
+        Shards inherit their parent's fingerprint, so envelopes produced
+        by different workers from the same plan agree on it — the merge
+        layer's consistency check. Path hosts are hashed by their loaded
+        graph *content*, not the path string: shards of nominally the
+        same plan run against divergent copies of ``host.json`` on two
+        machines must refuse to merge, not silently mix graphs.
+        """
+        if self.plan_fingerprint is not None:
+            return self.plan_fingerprint
+        doc = self.to_dict()
+        doc.pop("indices", None)
+        doc.pop("shard", None)
+        doc.pop("plan", None)
+        doc.pop("plan_size", None)
+        doc["hosts"] = {
+            key: graph_to_dict(self.host_graph(key)) for key in self.hosts
+        }
+        blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # -- seed resolution ----------------------------------------------
+
+    def resolve_seeds(self, seed: RandomLike = None) -> "SweepPlan":
+        """A plan whose every spec carries an explicit seed.
+
+        Replays exactly the sequential session rule: spec ``i`` keeps its
+        own seed when set, and otherwise gets
+        :func:`repro.session.derive_build_seed` at build index ``i`` from
+        a root stream seeded with ``seed`` — so ``Session(seed=s)
+        .build_many(plan.specs)`` and any sharding of
+        ``plan.resolve_seeds(s)`` resolve identical seeds.
+        """
+        from .session import derive_build_seed
+
+        if self.is_resolved:
+            return self
+        root = ensure_rng(seed)
+        resolved = []
+        for index, spec in enumerate(self.specs):
+            if spec.seed is not None:
+                resolved.append(spec)
+            else:
+                resolved.append(
+                    spec.replace(seed=derive_build_seed(root, index))
+                )
+        return replace(self, specs=tuple(resolved))
+
+    # -- sharding ------------------------------------------------------
+
+    def host_grouped_order(self) -> List[int]:
+        """Plan positions ordered by host first-appearance, stably.
+
+        This is the one ordering rule of the sharder: contiguous chunks
+        of this order keep each host's specs together, so a worker pays
+        for at most one CSR snapshot per host it owns (plus at most one
+        host split across a chunk boundary).
+        """
+        first_seen: Dict[str, int] = {}
+        for key in self.host_keys:
+            first_seen.setdefault(key, len(first_seen))
+        return sorted(
+            range(len(self.specs)),
+            key=lambda p: (first_seen[self.host_keys[p]], p),
+        )
+
+    def shard(self, index: int, of: int) -> "SweepPlan":
+        """The ``index``-th of ``of`` deterministic, seed-preserving shards.
+
+        Requires a resolved plan (:meth:`resolve_seeds`): seeds depend on
+        the *global* build order, so sharding an unresolved plan would
+        silently re-derive them per worker and break merge identity.
+        Shard sizes differ by at most one spec.
+        """
+        if of < 1 or not 0 <= index < of:
+            raise InvalidSpec(
+                f"shard index must satisfy 0 <= index < of, got {index}/{of}"
+            )
+        if not self.is_resolved:
+            raise InvalidSpec(
+                "cannot shard an unresolved plan (seeds would be re-derived "
+                "per worker); call plan.resolve_seeds(seed) first"
+            )
+        order = self.host_grouped_order()
+        total = len(order)
+        base, extra = divmod(total, of)
+        start = index * base + min(index, extra)
+        size = base + (1 if index < extra else 0)
+        positions = order[start:start + size]
+        keys = {self.host_keys[p] for p in positions}
+        parent = self.parent_indices
+        return replace(
+            self,
+            specs=tuple(self.specs[p] for p in positions),
+            host_keys=tuple(self.host_keys[p] for p in positions),
+            hosts={k: v for k, v in self.hosts.items() if k in keys},
+            indices=tuple(parent[p] for p in positions),
+            shard_id=(index, of),
+            plan_fingerprint=self.fingerprint(),
+            plan_size=self.total_size,
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-compatible plan document (hosts stored once)."""
+        doc: Dict[str, Any] = {
+            "format": PLAN_FORMAT,
+            "version": SWEEP_VERSION,
+            "name": self.name,
+            "hosts": {
+                key: host if isinstance(host, str) else graph_to_dict(host)
+                for key, host in self.hosts.items()
+            },
+            "specs": [
+                dict(spec.to_dict(include_graph=False), host=key)
+                for spec, key in zip(self.specs, self.host_keys)
+            ],
+        }
+        if self.indices is not None:
+            doc["indices"] = list(self.indices)
+        if self.shard_id is not None:
+            doc["shard"] = {"index": self.shard_id[0], "of": self.shard_id[1]}
+        if self.plan_fingerprint is not None:
+            doc["plan"] = self.plan_fingerprint
+        if self.plan_size is not None:
+            doc["plan_size"] = self.plan_size
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPlan":
+        """Inverse of :meth:`to_dict`; strict about shape and keys."""
+        if not isinstance(data, Mapping):
+            raise InvalidSpec(f"sweep plan must be a mapping, got {data!r}")
+        if data.get("format") != PLAN_FORMAT:
+            raise InvalidSpec(
+                f"not a sweep-plan document: format={data.get('format')!r} "
+                f"(expected {PLAN_FORMAT!r})"
+            )
+        if data.get("version", SWEEP_VERSION) != SWEEP_VERSION:
+            raise InvalidSpec(
+                f"unsupported sweep-plan version {data.get('version')!r} "
+                f"(this library reads version {SWEEP_VERSION})"
+            )
+        known = {"format", "version", "name", "hosts", "specs", "indices",
+                 "shard", "plan", "plan_size"}
+        extra = set(data) - known
+        if extra:
+            raise InvalidSpec(
+                f"sweep-plan document has unknown keys {sorted(extra)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        hosts_doc = data.get("hosts", {})
+        if not isinstance(hosts_doc, Mapping):
+            raise InvalidSpec(f"plan hosts must be a mapping, got {hosts_doc!r}")
+        hosts: Dict[str, Any] = {}
+        for key, host in hosts_doc.items():
+            hosts[key] = (
+                graph_from_dict(dict(host)) if isinstance(host, Mapping) else host
+            )
+        specs: List[SpannerSpec] = []
+        host_keys: List[str] = []
+        for entry in data.get("specs", []):
+            if not isinstance(entry, Mapping) or "host" not in entry:
+                raise InvalidSpec(
+                    f"each plan spec entry needs a 'host' key, got {entry!r}"
+                )
+            entry = dict(entry)
+            host_keys.append(entry.pop("host"))
+            specs.append(SpannerSpec.from_dict(entry))
+        shard_doc = data.get("shard")
+        shard = (
+            (shard_doc["index"], shard_doc["of"]) if shard_doc is not None else None
+        )
+        indices = data.get("indices")
+        return cls(
+            specs=tuple(specs),
+            host_keys=tuple(host_keys),
+            hosts=hosts,
+            name=data.get("name", "sweep"),
+            indices=tuple(indices) if indices is not None else None,
+            shard_id=shard,
+            plan_fingerprint=data.get("plan"),
+            plan_size=data.get("plan_size"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON text (sorted keys, so output is reproducible)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpec(f"sweep plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the plan as a JSON file (consumed by ``repro sweep``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepPlan":
+        """Read a plan JSON file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Shard execution and envelopes
+# ---------------------------------------------------------------------------
+
+
+def run_shard(plan: SweepPlan, include_spanner: bool = False) -> Dict[str, Any]:
+    """Execute one (shard) plan in-process and return its envelope.
+
+    The envelope's ``reports`` list holds the deterministic
+    :meth:`repro.spec.BuildReport.to_dict` documents in shard order;
+    wall-clock times and the session's CSR snapshot counters live in the
+    sibling ``timing`` section, so concatenating ``reports`` across
+    shards is byte-identical to the sequential path. With
+    ``include_spanner`` the spanner edge lists ride along (still
+    deterministic — needed when the merged reports feed verification).
+    """
+    from .session import Session
+
+    if not plan.is_resolved:
+        raise InvalidSpec(
+            "cannot run an unresolved plan shard; call plan.resolve_seeds "
+            "(run_sweep does this for the whole plan before sharding)"
+        )
+    session = Session()
+    reports = []
+    wall_times = []
+    for spec, key in zip(plan.specs, plan.host_keys):
+        report = session.build(spec, graph=plan.host_graph(key))
+        reports.append(report.to_dict(include_spanner=include_spanner))
+        wall_times.append(report.wall_time_s)
+    index, of = plan.shard_id if plan.shard_id is not None else (0, 1)
+    return {
+        "format": SHARD_FORMAT,
+        "version": SWEEP_VERSION,
+        "plan": plan.fingerprint(),
+        "plan_name": plan.name,
+        "shard": {"index": index, "of": of},
+        "plan_size": plan.total_size,
+        "indices": list(plan.parent_indices),
+        "reports": reports,
+        "timing": {
+            "wall_times_s": wall_times,
+            "snapshot_builds": session.snapshot_builds,
+            "snapshot_hits": session.snapshot_hits,
+        },
+    }
+
+
+def _run_shard_worker(doc: Dict[str, Any], include_spanner: bool) -> Dict[str, Any]:
+    """Worker entry point: rebuild the shard plan from its document.
+
+    Top-level (picklable) so it works under every multiprocessing start
+    method, including ``spawn``.
+    """
+    return run_shard(SweepPlan.from_dict(doc), include_spanner=include_spanner)
+
+
+def shard_report_path(reports_dir: str, index: int) -> str:
+    """The canonical envelope path for shard ``index``."""
+    return os.path.join(reports_dir, SHARD_FILE.format(index=index))
+
+
+def save_shard_report(envelope: Dict[str, Any], reports_dir: str) -> str:
+    """Persist one shard envelope under its canonical name."""
+    os.makedirs(reports_dir, exist_ok=True)
+    path = shard_report_path(reports_dir, envelope["shard"]["index"])
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(envelope, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_shard_report(path: str) -> Dict[str, Any]:
+    """Read a shard envelope, validating its format tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != SHARD_FORMAT:
+        raise InvalidSpec(f"{path}: not a sweep-shard envelope")
+    return data
+
+
+def run_sweep(
+    plan: SweepPlan,
+    workers: int = 1,
+    reports_dir: Optional[str] = None,
+    seed: RandomLike = 0,
+    include_spanner: bool = False,
+    with_envelopes: bool = False,
+):
+    """Execute a whole plan across ``workers`` processes and merge.
+
+    The plan's seeds are resolved first (no-op when already explicit), so
+    every partition resolves identically; each worker process runs one
+    host-grouped shard and produces an envelope (persisted under
+    ``reports_dir`` when given). Returns the merged
+    :class:`repro.spec.BuildReport` list in plan order — rehydrated from
+    the envelopes even for ``workers=1``, so the sequential path
+    exercises exactly the serialization surface the sharded one does.
+    With ``with_envelopes`` the raw envelopes ride along as
+    ``(reports, envelopes)``.
+    """
+    from .analysis.experiments import merge_shard_reports
+
+    if workers < 1:
+        raise InvalidSpec(f"workers must be >= 1, got {workers}")
+    plan = plan.resolve_seeds(seed)
+    workers = min(workers, max(len(plan), 1))
+    if workers == 1:
+        envelopes = [run_shard(plan, include_spanner=include_spanner)]
+    else:
+        shards = [plan.shard(i, workers) for i in range(workers)]
+        docs = [shard.to_dict() for shard in shards]
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            envelopes = list(
+                pool.map(
+                    _run_shard_worker, docs, [include_spanner] * len(docs)
+                )
+            )
+    if reports_dir is not None:
+        for envelope in envelopes:
+            save_shard_report(envelope, reports_dir)
+    reports = merge_shard_reports(envelopes)
+    if with_envelopes:
+        return reports, envelopes
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Grid emission and the capability coverage matrix
+# ---------------------------------------------------------------------------
+
+
+def _fault_model(kind: str, r: int) -> FaultModel:
+    """The fault model of one grid point (r = 0 means no faults)."""
+    if r == 0 or kind == "none":
+        return FaultModel.none()
+    return FaultModel(kind, r)
+
+
+def emit_grid_plan(
+    algorithms: Sequence[str],
+    stretches: Sequence[float],
+    rs: Sequence[int],
+    hosts: Mapping[str, Any],
+    fault_kind: str = "vertex",
+    seeds: int = 1,
+    seed_base: int = 0,
+    method: str = "auto",
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "sweep",
+    skip_unsupported: bool = False,
+) -> SweepPlan:
+    """Emit a resolved plan over the ``(host, algorithm, k, r, seed)`` grid.
+
+    Every point is checked against the registry's machine-readable
+    capability flags (:meth:`repro.registry.AlgorithmInfo
+    .unsupported_reason`): out-of-domain points raise
+    :class:`repro.errors.InvalidSpec` naming the point and the reason —
+    or are dropped under ``skip_unsupported`` (the coverage-matrix
+    behaviour), with every dropped point and its reason recorded on the
+    returned plan's :attr:`SweepPlan.skipped` so an incomplete grid
+    never reads as full coverage. Seeds are
+    explicit (``seed_base .. seed_base + seeds - 1`` per point), so the
+    emitted plan is already resolved and shards immediately.
+    """
+    if not algorithms:
+        raise InvalidSpec("emit_grid_plan needs at least one algorithm")
+    if not hosts:
+        raise InvalidSpec("emit_grid_plan needs at least one host")
+    if fault_kind not in FAULT_KINDS:
+        raise InvalidSpec(
+            f"fault kind must be one of {FAULT_KINDS}, got {fault_kind!r}"
+        )
+    if fault_kind == "none" and any(r != 0 for r in rs):
+        raise InvalidSpec(
+            f"fault_kind='none' only admits r=0 grid points, got rs={list(rs)}; "
+            "use fault_kind='vertex' or 'edge' for the r >= 1 axis"
+        )
+    if seeds < 1:
+        raise InvalidSpec(f"seeds must be >= 1, got {seeds}")
+    specs: List[SpannerSpec] = []
+    host_keys: List[str] = []
+    skipped: List[str] = []
+    for host_key in hosts:
+        for algorithm in algorithms:
+            info = get_algorithm(algorithm)
+            for stretch in stretches:
+                for r in rs:
+                    kind = "none" if r == 0 else fault_kind
+                    reason = info.unsupported_reason(kind, r, stretch)
+                    if reason is not None:
+                        point = (
+                            f"(host={host_key}, algorithm={algorithm}, "
+                            f"stretch={stretch}, r={r})"
+                        )
+                        if skip_unsupported:
+                            skipped.append(f"{point}: {reason}")
+                            continue
+                        raise InvalidSpec(
+                            f"grid point {point} is unsupported: {reason}; "
+                            "drop it from the grid or pass skip_unsupported"
+                        )
+                    for s in range(seeds):
+                        specs.append(
+                            SpannerSpec(
+                                algorithm=algorithm,
+                                stretch=stretch,
+                                faults=_fault_model(kind, r),
+                                method=method,
+                                seed=seed_base + s,
+                                params=dict(params or {}),
+                            )
+                        )
+                        host_keys.append(host_key)
+    if not specs:
+        raise InvalidSpec(
+            "the parameter grid produced no supported spec points"
+            + (f" (skipped: {'; '.join(skipped)})" if skipped else "")
+        )
+    return SweepPlan(
+        specs=tuple(specs),
+        host_keys=tuple(host_keys),
+        hosts=dict(hosts),
+        name=name,
+        skipped=tuple(skipped),
+    )
+
+
+def coverage_matrix(
+    stretches: Sequence[float] = (2, 3, 5),
+    kinds: Sequence[str] = FAULT_KINDS,
+    r: int = 1,
+) -> List[Dict[str, Any]]:
+    """The E-suite coverage matrix, generated from the registry.
+
+    One row per registered algorithm: which ``(fault kind, stretch)``
+    points it can serve (``r`` stands in for any positive tolerance; the
+    ``"none"`` column uses r = 0). This is what the plan emitter consults
+    — the matrix and the refusals cannot disagree.
+    """
+    from .registry import available_algorithms
+
+    rows = []
+    for algorithm in available_algorithms():
+        info = get_algorithm(algorithm)
+        cells = {}
+        for kind in kinds:
+            point_r = 0 if kind == "none" else r
+            for stretch in stretches:
+                supported = (
+                    info.unsupported_reason(kind, point_r, stretch) is None
+                )
+                cells[f"{kind}/k={stretch:g}"] = supported
+        rows.append({"algorithm": algorithm, **cells})
+    return rows
+
+
+__all__ = [
+    "PLAN_FORMAT",
+    "parse_shard",
+    "SHARD_FORMAT",
+    "SweepPlan",
+    "coverage_matrix",
+    "emit_grid_plan",
+    "load_shard_report",
+    "run_shard",
+    "run_sweep",
+    "save_shard_report",
+    "shard_report_path",
+]

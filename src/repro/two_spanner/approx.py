@@ -148,6 +148,8 @@ def _approx_stats(result: ApproxResult) -> dict:
     weighted=True,
     directed=True,
     fault_tolerant=True,
+    stretch_kind="fixed",
+    fixed_stretch=2,
 )
 def _registry_build_new(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> approximate_ft2_spanner``."""
@@ -173,6 +175,8 @@ def _registry_build_new(graph: BaseGraph, spec, seed):
     weighted=True,
     directed=True,
     fault_tolerant=True,
+    stretch_kind="fixed",
+    fixed_stretch=2,
 )
 def _registry_build_old(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> dk10_baseline``."""

@@ -274,3 +274,84 @@ class TestAlgorithms:
         names = [row["name"] for row in doc["algorithms"]]
         assert "ft2-approx" in names
         assert all("fault_tolerant" in row for row in doc["algorithms"])
+
+
+class TestSweep:
+    @pytest.fixture
+    def plan_path(self, host_path, tmp_path, capsys):
+        path = str(tmp_path / "plan.json")
+        assert main([
+            "sweep", "--emit", path, "--graph", host_path,
+            "--algorithms", "theorem21,greedy", "--stretch", "3",
+            "--r", "0,1", "--seeds", "2", "--skip-unsupported",
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_emit_writes_a_resolved_plan(self, plan_path):
+        from repro import SweepPlan
+
+        plan = SweepPlan.load(plan_path)
+        # theorem21 serves r in {0, 1}, greedy only r=0: 3 points x 2 seeds.
+        assert len(plan) == 6
+        assert plan.is_resolved
+
+    def test_emit_refuses_unsupported_grid(self, host_path, tmp_path, capsys):
+        assert main([
+            "sweep", "--emit", str(tmp_path / "bad.json"), "--graph",
+            host_path, "--algorithms", "baswana-sen", "--r", "1",
+        ]) == 1
+        assert "unsupported" in capsys.readouterr().err
+
+    def test_workers_shards_and_merge_agree(self, plan_path, tmp_path, capsys):
+        assert main(["sweep", plan_path, "--workers", "1", "--json"]) == 0
+        sequential = capsys.readouterr().out
+        shard_dir = str(tmp_path / "shards")
+        for i in range(2):
+            assert main(["sweep", plan_path, "--shard", f"{i}/2",
+                         "--reports-dir", shard_dir]) == 0
+        capsys.readouterr()
+        assert main(["merge", shard_dir, "--json"]) == 0
+        merged = capsys.readouterr().out
+        assert merged == sequential
+        doc = json.loads(merged)
+        assert doc["count"] == 6
+        assert [r["resolved_seed"] for r in doc["reports"]] == [
+            0, 1, 0, 1, 0, 1
+        ]
+
+    def test_merge_of_partial_shards_fails_cleanly(
+        self, plan_path, tmp_path, capsys
+    ):
+        shard_dir = str(tmp_path / "partial")
+        assert main(["sweep", plan_path, "--shard", "0/2",
+                     "--reports-dir", shard_dir]) == 0
+        capsys.readouterr()
+        assert main(["merge", shard_dir]) == 1
+        assert "cover" in capsys.readouterr().err
+
+    def test_coverage_matrix_json(self, capsys):
+        assert main(["sweep", "--coverage", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        rows = {row["algorithm"]: row for row in doc["coverage"]}
+        assert rows["theorem21"]["vertex/k=3"] is True
+        assert rows["greedy"]["vertex/k=3"] is False
+
+    def test_conflicting_flags_are_refused(self, plan_path, capsys):
+        assert main(["sweep", plan_path, "--emit", "x.json"]) == 1
+        assert "emit" in capsys.readouterr().err
+        assert main(["sweep", plan_path, "--shard", "0/2",
+                     "--workers", "4"]) == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_grid_values_are_clean_errors(self, host_path, tmp_path,
+                                              capsys):
+        out = str(tmp_path / "p.json")
+        assert main(["sweep", "--emit", out, "--graph", host_path,
+                     "--algorithms", "greedy", "--r", "0",
+                     "--stretch", "inf"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["sweep", "--emit", out, "--graph", host_path,
+                     "--algorithms", "greedy", "--r", "0",
+                     "--params", "{bad"]) == 1
+        assert "JSON" in capsys.readouterr().err

@@ -154,8 +154,9 @@ class TestLegacyIdentity:
         """
         covered = {
             "greedy", "baswana-sen", "thorup-zwick", "tz-oracle",
-            "theorem21", "theorem21-edge", "clpr09", "ft2-approx",
-            "dk10-baseline", "distributed-ft", "distributed-ft2",
+            "theorem21", "theorem21-edge", "theorem21-adaptive", "clpr09",
+            "ft2-approx", "dk10-baseline", "distributed-ft",
+            "distributed-ft2",
         }
         assert set(Session.algorithms()) == covered
 

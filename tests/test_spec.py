@@ -231,6 +231,7 @@ class TestRegistry:
             assert set(row) == {
                 "name", "summary", "stretch_domain", "weighted", "directed",
                 "fault_tolerant", "distributed", "csr_path",
+                "fault_kinds", "stretch_kind", "fixed_stretch",
             }
 
     def test_capability_flags_match_paper_structure(self):
