@@ -12,11 +12,17 @@ Paper claims:
 
 What we measure: total LOCAL rounds and their decomposition for Algorithm 2
 across n (fitting rounds / log² n), its cost against the centralized LP
-optimum, and the conversion's rounds-per-iteration constant.
+optimum, the conversion's rounds-per-iteration constant, and — since the
+array round engine landed (PR 5) — the conversion's round/message scaling
+up to n = 200 communication graphs, simulated end to end on the engine
+(``method="csr"``). The Algorithm 2 family stays at n ≤ 28 because its
+cost is the per-cluster LP solves, not the simulator.
 
 Shape to hold: Algorithm 2's rounds/log² n stays within a constant band;
 its output is valid with cost within an O(log n)-consistent factor of LP*;
-the conversion's rounds grow linearly in iterations × k.
+the conversion's rounds grow linearly in iterations × k (and stay ~k per
+iteration as n grows another order of magnitude), with message counts
+growing with the communication graph.
 """
 
 from __future__ import annotations
@@ -34,16 +40,22 @@ from repro.two_spanner import solve_ft2_lp
 NS = [10, 14, 20, 28]
 R = 1
 
+#: Communication-graph sizes for the Corollary 2.4 conversion (E9c).
+#: n >= 48 rides the array round engine; forced explicitly so the
+#: benchmark always exercises it end to end.
+CONV_NS = [52, 100, 200]
+CONV_ITERATIONS = 8
+
 #: Worker processes for the sweep driver (see bench_e1; reports are
 #: byte-identical at every worker count).
 WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
 
 
 def sweep():
-    # Both experiment families ride one SweepPlan through the sharded
-    # driver; round/cost accounting arrives in the envelope stats, and
-    # validity goes through Session.verify over the rehydrated spanners
-    # (include_spanner keeps the edge lists in the shard envelopes).
+    # All three experiment families ride one SweepPlan through the
+    # sharded driver; round/message accounting arrives in the envelope
+    # stats, and validity goes through Session.verify over the rehydrated
+    # spanners (include_spanner keeps the edge lists in the envelopes).
     hosts = {n: gnp_random_digraph(n, 0.5, seed=n) for n in NS}
     alg2_specs = [
         SpannerSpec(
@@ -60,7 +72,19 @@ def sweep():
         )
         for iterations in (6, 12, 24)
     ]
-    plan = SweepPlan.build(alg2_specs + conv_specs, name="e9")
+    conv_hosts = {
+        n: connected_gnp_graph(n, min(0.3, 16.0 / n), seed=60 + n)
+        for n in CONV_NS
+    }
+    scale_specs = [
+        SpannerSpec(
+            "distributed-ft", stretch=3, faults=FaultModel.vertex(R),
+            seed=53, params={"iterations": CONV_ITERATIONS},
+            graph=conv_hosts[n], method="csr",
+        )
+        for n in CONV_NS
+    ]
+    plan = SweepPlan.build(alg2_specs + conv_specs + scale_specs, name="e9")
     reports = run_sweep(plan, workers=WORKERS, include_spanner=True)
 
     session = Session()
@@ -82,7 +106,8 @@ def sweep():
         )
 
     conv_rows = []
-    for spec, report in zip(conv_specs, reports[len(NS):]):
+    conv_end = len(NS) + len(conv_specs)
+    for spec, report in zip(conv_specs, reports[len(NS): conv_end]):
         iterations = spec.param("iterations")
         assert session.verify(
             report, graph=comm, mode="sampled", trials=30, seed=52
@@ -95,11 +120,28 @@ def sweep():
                 "edges": report.size,
             }
         )
-    return alg2_rows, conv_rows
+
+    scale_rows = []
+    for n, report in zip(CONV_NS, reports[conv_end:]):
+        assert report.resolved_method == "csr"
+        assert session.verify(
+            report, graph=conv_hosts[n], mode="sampled", trials=20, seed=54
+        )
+        scale_rows.append(
+            {
+                "n": n,
+                "m": conv_hosts[n].num_edges,
+                "rounds": report.stats["total_rounds"],
+                "per_iteration": report.stats["total_rounds"] / CONV_ITERATIONS,
+                "messages": report.stats["total_messages"],
+                "edges": report.size,
+            }
+        )
+    return alg2_rows, conv_rows, scale_rows
 
 
 def test_e9_distributed(benchmark):
-    alg2_rows, conv_rows = run_once(benchmark, sweep)
+    alg2_rows, conv_rows, scale_rows = run_once(benchmark, sweep)
     print_table(
         ["n", "LOCAL rounds", "rounds/log²n", "iterations t", "cost",
          "central LP*", "cost/LP*"],
@@ -119,6 +161,19 @@ def test_e9_distributed(benchmark):
         ],
         title="E9b: distributed conversion (Corollary 2.4), k = 2 (stretch 3)",
     )
+    print_table(
+        ["n", "comm edges", "LOCAL rounds", "rounds/α", "messages",
+         "spanner edges"],
+        [
+            [row["n"], row["m"], row["rounds"], row["per_iteration"],
+             row["messages"], row["edges"]]
+            for row in scale_rows
+        ],
+        title=(
+            "E9c: conversion at engine scale (array round engine, "
+            f"α = {CONV_ITERATIONS})"
+        ),
+    )
 
     # Theorem 3.9 shape: rounds/log² n within a constant band (factor 4).
     normalized = [row["normalized"] for row in alg2_rows]
@@ -133,3 +188,11 @@ def test_e9_distributed(benchmark):
         assert row["per_iteration"] <= 4.0
     rounds = [row["rounds"] for row in conv_rows]
     assert rounds[1] > rounds[0] and rounds[2] > rounds[1]
+    # Engine scale (E9c): the per-iteration round constant stays ~k + 1
+    # as n grows toward 200 — rounds depend on k, not n (Corollary 2.4) —
+    # while message volume grows with the communication graph.
+    for row in scale_rows:
+        assert row["rounds"] >= CONV_ITERATIONS
+        assert row["per_iteration"] <= 4.0
+    messages = [row["messages"] for row in scale_rows]
+    assert messages[1] > messages[0] and messages[2] > messages[1]

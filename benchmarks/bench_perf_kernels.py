@@ -23,6 +23,14 @@ PR 2 routed the rest of the algorithm stack onto the kernels:
 * **LP (3) row assembly** — CSR-driven midpoint enumeration and bulk
   constraint records vs per-edge dict walks.
 
+PR 5 rewired the LOCAL-model simulator:
+
+* **round engine** (``engine_vs_dict_rounds``) — the array-backed
+  half-edge scatter engine vs the reference dict-of-dict round loop, on
+  a deliberately thin fan-out node program so the timing isolates the
+  simulator substrate (message routing, inbox construction, round
+  bookkeeping) rather than any algorithm's local computation.
+
 Each pair runs the *same seeds* and asserts identical outputs before
 timing, so the speedups compare equal work. Results are written to
 ``BENCH_perf_kernels.json`` at the repo root — committed as the perf
@@ -46,6 +54,7 @@ from repro.core.verify import (
     unsatisfied_edges,
 )
 from repro.distributed import sample_padded_decomposition
+from repro.distsim import NodeAlgorithm, run_algorithm
 from repro.graph import connected_gnp_graph, gnp_random_graph
 from repro.spanners import (
     baswana_sen_spanner,
@@ -244,6 +253,51 @@ def bench_decomposition(n: int = 400, p: float = 0.03) -> dict:
     return _pair_row("padded_decomposition", g, fast, slow, {"p": p})
 
 
+class _FanoutNode(NodeAlgorithm):
+    """Thin flood program: broadcast + inbox sum per round, then halt.
+
+    The per-round local computation is a single integer sum, so a
+    simulation of this node measures the simulator substrate itself —
+    the regime the E9 distributed sweeps stress (message fan-out across
+    many rounds), with no algorithm cost diluting the comparison.
+    """
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def on_start(self, ctx):
+        ctx.broadcast(0)
+
+    def on_round(self, ctx, inbox):
+        total = 0
+        for _sender, hops in inbox.items():
+            total += hops
+        if ctx.round >= self.rounds:
+            ctx.halt(result=total)
+        else:
+            ctx.broadcast(ctx.round)
+
+
+def bench_engine_rounds(n: int = 400, p: float = 0.03, rounds: int = 24) -> dict:
+    """LOCAL round engine vs the reference dict loop (PR 5).
+
+    Both paths run the same seeded simulation and are asserted identical
+    (round count, message count, per-node results) before timing.
+    """
+    g = connected_gnp_graph(n, p, seed=8)
+    node = _FanoutNode(rounds)
+    fast = lambda: run_algorithm(g, lambda v: node, seed=1, method="csr")  # noqa: E731
+    slow = lambda: run_algorithm(g, lambda v: node, seed=1, method="dict")  # noqa: E731
+    a, b = fast(), slow()
+    assert (a.rounds, a.messages_sent, a.results) == (
+        b.rounds, b.messages_sent, b.results
+    )
+    return _pair_row(
+        "engine_vs_dict_rounds", g, fast, slow,
+        {"p": p, "rounds": rounds, "messages": a.messages_sent},
+    )
+
+
 def bench_lp_assembly(n: int = 60, p: float = 0.3, r: int = 1) -> dict:
     from repro.graph import gnp_random_digraph
 
@@ -270,6 +324,7 @@ def run_benchmarks() -> list:
         bench_clpr(),
         bench_decomposition(),
         bench_lp_assembly(),
+        bench_engine_rounds(),
     ]
     payload = {
         "description": "CSR fast-path kernels vs dict implementations",
@@ -307,6 +362,9 @@ def _assert_headline(rows) -> None:
     # PR 2 headline kernels: the clustering spanners at n = 400.
     assert by_name["thorup_zwick"]["speedup"] >= MIN_HEADLINE_SPEEDUP
     assert by_name["baswana_sen"]["speedup"] >= MIN_HEADLINE_SPEEDUP
+    # PR 5: the round engine must clearly beat the dict loop on the
+    # substrate-isolating fan-out pair (measured ~2x; margin for CI).
+    assert by_name["engine_vs_dict_rounds"]["speedup"] >= 1.3
     # The remaining rewired paths must at least never lose to dict.
     for name in ("tz_distance_oracle", "clpr_baseline", "padded_decomposition",
                  "ft2_lp_row_assembly"):

@@ -46,6 +46,7 @@ def smoke_rows() -> list:
         bench.bench_clpr(n=64),
         bench.bench_decomposition(n=160, p=0.06),
         bench.bench_lp_assembly(n=40),
+        bench.bench_engine_rounds(n=160, p=0.08, rounds=16),
     ]
 
 

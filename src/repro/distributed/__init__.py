@@ -7,9 +7,16 @@ Algorithm 2's cluster-decomposed LP with local rounding (Theorem 3.9).
 The two end-to-end pipelines self-register in :mod:`repro.registry` as
 ``distributed-ft`` and ``distributed-ft2`` (capability flag
 ``distributed=True``), so they build through the same
-:class:`repro.session.Session` front door as the centralized algorithms.
+:class:`repro.session.Session` front door as the centralized algorithms,
+and their ``method=`` switch (array round engine vs reference dict
+simulator, see :mod:`repro.distsim`) threads through
+:class:`repro.spec.SpannerSpec` like every other dispatch decision.
+:func:`repro.distsim.communication_graph` is re-exported here because
+every entry point in this package runs on the undirected communication
+topology of its (possibly directed) problem graph.
 """
 
+from ..distsim.runtime import communication_graph
 from .cluster_lp import (
     ClusterLPIteration,
     DistributedLPResult,
@@ -40,6 +47,7 @@ __all__ = [
     "LocalLemma31Verifier",
     "PaddedDecomposition",
     "PaddedDecompositionAlgorithm",
+    "communication_graph",
     "default_iteration_count",
     "default_radius_cap",
     "distributed_baswana_sen",

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from ..distsim.runtime import communication_graph
 from ..errors import DistributedError
 from ..graph.graph import BaseGraph, DiGraph, Graph
 from ..lp.cutting_plane import solve_with_cuts
@@ -87,11 +88,6 @@ class DistributedLPResult:
         return self._lp_cost
 
     _lp_cost: float = 0.0
-
-
-def _communication_graph(graph: BaseGraph) -> Graph:
-    """Undirected communication topology of a (possibly directed) instance."""
-    return graph.to_undirected() if graph.directed else graph
 
 
 def _local_view(graph: BaseGraph, members: Set[Vertex], comm: Graph) -> Tuple[BaseGraph, Set[Vertex]]:
@@ -149,17 +145,19 @@ def distributed_ft2_lp(
     p: float = DEFAULT_P,
     seed: RandomLike = None,
     backend: str = "auto",
+    method: str = "auto",
 ) -> DistributedLPResult:
     """The LP-solving loop of Algorithm 2 (lines 1–5).
 
     Returns the averaged ``x̃`` values and the number of LOCAL rounds the
     message protocol would take: per iteration, ``radius_cap`` rounds of
     decomposition sampling plus ``2·(max cluster radius + 1)`` rounds of
-    gather/scatter.
+    gather/scatter. ``method`` threads to the per-iteration Lemma 3.7
+    sampler (seed-identical on every path).
     """
     if r < 0:
         raise DistributedError(f"r must be nonnegative, got {r}")
-    comm = _communication_graph(graph)
+    comm = communication_graph(graph)
     n = comm.num_vertices
     iterations = t if t is not None else default_iteration_count(n)
     rng = ensure_rng(seed)
@@ -172,7 +170,7 @@ def distributed_ft2_lp(
 
     for i in range(iterations):
         decomposition = sample_padded_decomposition(
-            comm, p=p, radius_cap=cap, seed=derive_rng(rng, i)
+            comm, p=p, radius_cap=cap, seed=derive_rng(rng, i), method=method
         )
         clusters = decomposition.clusters
         max_radius = max(
@@ -238,6 +236,7 @@ def distributed_ft2_spanner(
     backend: str = "auto",
     alpha_constant: float = 4.0,
     max_attempts: int = 20,
+    method: str = "auto",
 ) -> DistributedSpannerResult:
     """Algorithm 2 end to end (Theorem 3.9).
 
@@ -245,7 +244,9 @@ def distributed_ft2_spanner(
     vertex tells neighbours which incident edges it bought).
     """
     rng = ensure_rng(seed)
-    lp = distributed_ft2_lp(graph, r, t=t, p=p, seed=rng, backend=backend)
+    lp = distributed_ft2_lp(
+        graph, r, t=t, p=p, seed=rng, backend=backend, method=method
+    )
     alpha = alpha_log_n(graph.num_vertices, alpha_constant)
     rounding = round_until_valid(
         graph, lp.x_values, r, alpha, max_attempts=max_attempts, seed=rng
@@ -281,6 +282,7 @@ def _registry_build(graph: BaseGraph, spec, seed):
         backend=spec.param("backend", "auto"),
         alpha_constant=spec.param("alpha_constant", 4.0),
         max_attempts=spec.param("max_attempts", 20),
+        method=spec.method,
     )
     stats = {
         "cost": result.cost,

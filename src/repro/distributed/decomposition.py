@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..distsim.node import NodeAlgorithm, NodeContext
-from ..distsim.runtime import SimulationResult, run_algorithm
+from ..distsim.runtime import SimulationResult, communication_graph, run_algorithm
 from ..errors import DistributedError
 from ..graph.csr import BFSBalls, resolve_method, snapshot
 from ..graph.graph import BaseGraph, Graph
@@ -100,7 +100,7 @@ class PaddedDecomposition:
         "Weak" because the connecting paths may leave the cluster
         (Definition 3.6 item 1 bounds exactly this quantity).
         """
-        comm = graph.to_undirected() if graph.directed else graph
+        comm = communication_graph(graph)
         worst = 0
         for members in self.clusters.values():
             for v in members:
@@ -243,17 +243,21 @@ def distributed_padded_decomposition(
     p: float = DEFAULT_P,
     radius_cap: Optional[int] = None,
     seed: RandomLike = None,
+    *,
+    method: str = "auto",
 ) -> Tuple[PaddedDecomposition, SimulationResult]:
     """Run the Lemma 3.7 algorithm in the simulator.
 
     Returns the decomposition plus the simulation result (whose ``rounds``
-    field realizes the O(log n) round bound).
+    field realizes the O(log n) round bound). ``method`` selects the
+    simulator's execution path (array round engine vs reference dict
+    loop); both are seed-identical.
     """
     cap = radius_cap if radius_cap is not None else default_radius_cap(
         graph.num_vertices
     )
     algorithm = PaddedDecompositionAlgorithm(p=p, radius_cap=cap)
-    sim = run_algorithm(graph, lambda v: algorithm, seed=seed)
+    sim = run_algorithm(graph, lambda v: algorithm, seed=seed, method=method)
     assignment = dict(sim.results)
     radii = {v: sim.states[v]["radius"] for v in assignment}
     decomposition = PaddedDecomposition(

@@ -53,6 +53,8 @@ def distributed_ft_spanner(
     schedule: str = "light",
     constant: float = 16.0,
     seed: RandomLike = None,
+    *,
+    method: str = "auto",
 ) -> DistributedFTResult:
     """Distributed r-fault-tolerant (2k-1)-spanner (Corollary 2.4).
 
@@ -60,7 +62,9 @@ def distributed_ft_spanner(
     ``k`` here is the Baswana–Sen level count (stretch ``2k - 1``). The
     default schedule is "light" (``r² log n``) because the simulator runs
     every round explicitly; pass ``schedule="theorem"`` for the full
-    ``r³ log n`` of the statement.
+    ``r³ log n`` of the statement. ``method`` selects the simulator
+    execution path for every per-iteration run (seed-identical paths,
+    resolved per survivor subgraph under ``"auto"``).
     """
     if graph.directed:
         raise DistributedError("run on the undirected communication graph")
@@ -72,7 +76,7 @@ def distributed_ft_spanner(
     union.add_vertices(graph.vertices())
 
     if r == 0:
-        spanner, sim = distributed_baswana_sen(graph, k, seed=rng)
+        spanner, sim = distributed_baswana_sen(graph, k, seed=rng, method=method)
         for u, v, w in spanner.edges():
             union.add_edge(u, v, w)
         return DistributedFTResult(
@@ -95,7 +99,7 @@ def distributed_ft_spanner(
         survivors = [v for v in vertices if it_rng.random() < p_survive]
         survivor_sizes.append(len(survivors))
         sub = graph.induced_subgraph(survivors)
-        spanner, sim = distributed_baswana_sen(sub, k, seed=it_rng)
+        spanner, sim = distributed_baswana_sen(sub, k, seed=it_rng, method=method)
         total_rounds += max(sim.rounds, 1)
         total_messages += sim.messages_sent
         for u, v, w in spanner.edges():
@@ -122,9 +126,16 @@ def distributed_ft_spanner(
 )
 def _registry_build(graph: Graph, spec, seed):
     """Spec adapter: ``SpannerSpec -> distributed_ft_spanner``."""
+    from ..graph.csr import resolve_method
     from ..spec import require_fault_kind, stretch_to_levels
 
     require_fault_kind(spec, "vertex", "none")
+    # Resolve "auto" once against the host and force every per-iteration
+    # simulation onto that path: the iterations run on survivor
+    # *subgraphs*, which would otherwise re-resolve per subgraph size
+    # and make the report's resolved_method (derived from the host by
+    # the session) misstate which engine actually ran.
+    resolved = resolve_method(spec.method, graph.num_vertices)
     result = distributed_ft_spanner(
         graph,
         stretch_to_levels(spec, parameter="k"),
@@ -133,11 +144,13 @@ def _registry_build(graph: Graph, spec, seed):
         schedule=spec.param("schedule", "light"),
         constant=spec.param("constant", 16.0),
         seed=seed,
+        method=resolved,
     )
     stats = {
         "iterations": result.iterations,
         "total_rounds": result.total_rounds,
         "total_messages": result.total_messages,
         "survivor_sizes": list(result.survivor_sizes),
+        "resolved_method": resolved,
     }
     return result, stats

@@ -181,12 +181,16 @@ def distributed_baswana_sen(
     k: int,
     seed: RandomLike = None,
     sample_probability: Optional[float] = None,
+    *,
+    method: str = "auto",
 ) -> Tuple[Graph, SimulationResult]:
     """Run the distributed Baswana–Sen (2k-1)-spanner.
 
     Returns the spanner (union of all nodes' bought edges) and the
     simulation result; ``result.rounds`` is ``k + 1`` — realizing the
     O(k)-round bound Corollary 2.4 needs from its base construction.
+    ``method`` selects the simulator's execution path (seed-identical
+    either way).
     """
     if graph.directed:
         raise DistributedError("the distributed spanner runs on undirected graphs")
@@ -206,7 +210,7 @@ def distributed_baswana_sen(
     p = sample_probability if sample_probability is not None else n ** (-1.0 / k)
     weights = {v: dict(graph.neighbor_items(v)) for v in graph.vertices()}
     node = BaswanaSenNode(k=k, p=p, salt=salt, weights=weights)
-    sim = run_algorithm(graph, lambda v: node, seed=rng)
+    sim = run_algorithm(graph, lambda v: node, seed=rng, method=method)
     for bought in sim.results.values():
         for (a, b) in bought:
             spanner.add_edge(a, b, graph.weight(a, b))

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Set, Tuple
 
 from ..distsim.node import NodeAlgorithm, NodeContext
-from ..distsim.runtime import SimulationResult, run_algorithm
+from ..distsim.runtime import SimulationResult, communication_graph, run_algorithm
 from ..errors import DistributedError
 from ..graph.graph import BaseGraph, Graph
 from ..rng import RandomLike
@@ -81,16 +81,19 @@ def distributed_lemma31_check(
     graph: BaseGraph,
     r: int,
     seed: RandomLike = None,
+    *,
+    method: str = "auto",
 ) -> Tuple[bool, List[EdgeKey], SimulationResult]:
     """Run the 2-round LOCAL verification.
 
     Returns ``(valid, violations, simulation_result)``. The communication
-    topology is the undirected host graph (Section 3.5's bidirectional-
-    communication convention).
+    topology is :func:`repro.distsim.communication_graph` of the host
+    (Section 3.5's bidirectional-communication convention); ``method``
+    selects the simulator's execution path.
     """
     if r < 0:
         raise DistributedError(f"r must be nonnegative, got {r}")
-    comm = graph.to_undirected() if graph.directed else graph
+    comm = communication_graph(graph)
 
     host_out: Dict[Vertex, List[Vertex]] = {}
     for u, v, _w in graph.edges():
@@ -105,7 +108,7 @@ def distributed_lemma31_check(
             spanner_in.setdefault(u, set()).add(v)
 
     verifier = LocalLemma31Verifier(r, host_out, spanner_out, spanner_in)
-    sim = run_algorithm(comm, lambda v: verifier, seed=seed)
+    sim = run_algorithm(comm, lambda v: verifier, seed=seed, method=method)
     violations: List[EdgeKey] = []
     for result in sim.results.values():
         violations.extend(result or ())

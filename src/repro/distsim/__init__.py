@@ -4,15 +4,29 @@ In each round every node may send an unbounded-size message to each of its
 neighbours; after ``t`` rounds a node's state is a function of its
 radius-``t`` neighbourhood. The distributed algorithms of Sections 2 and
 3.5 run on this substrate.
+
+Two interchangeable execution paths implement the round semantics: the
+reference dict loop in :mod:`repro.distsim.runtime` and the array-backed
+:class:`~repro.distsim.engine.ArrayRoundEngine`, selected per run through
+``Simulation(..., method="auto"|"csr"|"dict")`` and pinned seed-identical.
 """
 
+from .engine import ArrayRoundEngine, InboxView
 from .message import Message
 from .node import NodeAlgorithm, NodeContext
-from .runtime import AlgorithmFactory, Simulation, SimulationResult, run_algorithm
+from .runtime import (
+    AlgorithmFactory,
+    Simulation,
+    SimulationResult,
+    communication_graph,
+    run_algorithm,
+)
 from .trace import RoundRecord, SimulationTracer
 
 __all__ = [
     "AlgorithmFactory",
+    "ArrayRoundEngine",
+    "InboxView",
     "Message",
     "NodeAlgorithm",
     "NodeContext",
@@ -20,5 +34,6 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "SimulationTracer",
+    "communication_graph",
     "run_algorithm",
 ]

@@ -1,0 +1,342 @@
+"""Array-backed round engine for the LOCAL-model simulator.
+
+The reference loop in :mod:`repro.distsim.runtime` re-materializes a
+``{vertex: {sender: content}}`` dict of dicts every round — per-round
+allocation O(n) plus dict inserts per message on both the send and the
+drain side. This engine pins node ids to CSR indices via
+:func:`repro.graph.csr.snapshot` and routes every message through the
+half-edge slot that carries it:
+
+* **sending** is one scatter over the sender's contiguous out-slot range
+  (`indptr[v]..indptr[v+1]`): a generation stamp per slot is the whole
+  double-send protocol check, and a broadcast appends one *shared*
+  ``(sender, content)`` pair to its receivers' delivery buckets — no
+  per-receiver envelope is allocated;
+* **delivery** is free — swapping the two buffers publishes the round;
+  each node reads its bucket through an :class:`InboxView` (senders
+  already in dict-loop drain order), so no per-vertex inbox dict is
+  ever copied and a quiet round costs O(active), not O(m);
+* **quiescence and message accounting** are batched: an active-node
+  counter maintained by ``halt`` replaces the per-round ``any()`` sweep,
+  and each swap counts the round's messages as one reduction over the
+  bucket lengths instead of a counter bump per send.
+
+The engine is *pinned equivalent* to the dict loop: same RNG stream
+(one :func:`repro.rng.derive_rng` draw per vertex, in host vertex
+order), same round/message counts, same results/states, and the same
+inbox iteration order — nodes run in ascending vertex index and each
+round touches a receiver's bucket at most once per sender, so bucket
+order equals the order the reference loop drains outboxes in.
+Algorithms that iterate their inbox therefore observe identical
+sequences; ``tests/test_distsim.py`` enforces this property-style,
+including trace-event equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from types import MappingProxyType
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..errors import DistributedError, ProtocolViolation
+from ..graph.csr import snapshot
+from ..graph.graph import BaseGraph
+from ..rng import derive_rng
+from .node import NodeAlgorithm, NodeContext
+
+Vertex = Hashable
+
+#: Shared inbox for nodes with no mail this round — read-only and empty,
+#: so one instance serves every quiet node without an allocation.
+_EMPTY_INBOX: Mapping = MappingProxyType({})
+
+
+class InboxView(Mapping):
+    """Read-only mapping ``{sender: content}`` over a delivery bucket.
+
+    Backed by the engine's current-round bucket of ``(sender, content)``
+    pairs; iteration order is ascending sender index, matching the dict
+    loop's outbox-drain order, so order-sensitive consumers see the same
+    sequence on both paths. The bucket is never mutated after its round
+    is published (each round writes into fresh buckets), so a view an
+    algorithm stashes keeps its contents — like a stashed dict-path
+    inbox. Only keyed access (``inbox[sender]`` / ``.get`` / ``in``)
+    relies on the engine's live message slots, so it is guaranteed only
+    during the round; afterwards it raises :class:`ProtocolViolation`
+    (which ``.get``/``in`` do *not* swallow — they only catch
+    ``KeyError``), so stale random access fails loudly instead of
+    silently diverging from the dict path.
+    """
+
+    __slots__ = ("_engine", "_vidx", "_gen", "_pairs")
+
+    def __init__(self, engine: "ArrayRoundEngine", vidx: int, gen: int):
+        self._engine = engine
+        self._vidx = vidx
+        self._gen = gen
+        self._pairs = engine.cur_inbox[vidx]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        for sender, _content in self._pairs:
+            yield sender
+
+    def __getitem__(self, sender: Vertex) -> Any:
+        eng = self._engine
+        if eng.gen - 1 != self._gen:
+            raise ProtocolViolation(
+                "keyed inbox access outside the round that received it "
+                "(iteration/items()/len() of a stashed inbox stay valid; "
+                "inbox[sender]/.get/in do not)"
+            )
+        s = eng.index.get(sender)
+        if s is None:
+            raise KeyError(sender)
+        pos = eng.out_pos(s).get(eng.verts[self._vidx])
+        if pos is None or eng.cur_stamp[pos] != self._gen:
+            raise KeyError(sender)
+        return eng.cur_content[pos]
+
+    # Dict-shaped fast paths (the Mapping mixins would re-run __getitem__
+    # per key; algorithms iterate these in their hot loops).
+
+    def items(self) -> List[Tuple[Vertex, Any]]:
+        return list(self._pairs)
+
+    def values(self) -> List[Any]:
+        return [content for _sender, content in self._pairs]
+
+
+class EngineNodeContext(NodeContext):
+    """A :class:`NodeContext` whose sends scatter into the engine buffers."""
+
+    def __init__(
+        self,
+        node: Vertex,
+        neighbors: Tuple[Vertex, ...],
+        rng,
+        engine: "ArrayRoundEngine",
+        vidx: int,
+    ):
+        # Deliberately not super().__init__: the base initializer builds
+        # a per-node neighbor set and outbox dict that only the dict
+        # loop's send path consults — on the engine path the out-slot
+        # table is the membership check and the buffers are the outbox,
+        # so those O(deg) structures would be dead weight per node.
+        self.node = node
+        self.neighbors = neighbors
+        self.rng = rng
+        self.round = 0
+        self.state = {}
+        self._halted = False
+        self._result = None
+        self._engine = engine
+        self._vidx = vidx
+        self._lo = engine.csr.indptr[vidx]
+        self._hi = engine.csr.indptr[vidx + 1]
+        self._pos_of: Optional[Dict[Vertex, int]] = None
+
+    def send(self, neighbor: Vertex, content: Any) -> None:
+        pos_of = self._pos_of
+        if pos_of is None:
+            pos_of = self._pos_of = self._engine.out_pos(self._vidx)
+        pos = pos_of.get(neighbor)
+        if pos is None:
+            raise ProtocolViolation(
+                f"node {self.node!r} tried to message non-neighbor {neighbor!r}"
+            )
+        eng = self._engine
+        if eng.nxt_stamp[pos] == eng.gen:
+            raise ProtocolViolation(
+                f"node {self.node!r} sent twice to {neighbor!r} in one round"
+            )
+        eng.nxt_stamp[pos] = eng.gen
+        eng.nxt_content[pos] = content
+        eng.nxt_inbox[eng.nbr[pos]].append((self.node, content))
+
+    def broadcast(self, content: Any) -> None:
+        # One pass over the sender's contiguous out-slot range, sharing a
+        # single (sender, content) pair across all receivers. Broadcast
+        # is the protocol's hot primitive; the iteration order here
+        # cannot influence delivery order because each receiver's bucket
+        # is touched exactly once per sender per round.
+        eng = self._engine
+        gen = eng.gen
+        stamp, payload = eng.nxt_stamp, eng.nxt_content
+        nbr, inbox = eng.nbr, eng.nxt_inbox
+        pair = (self.node, content)
+        for pos in range(self._lo, self._hi):
+            if stamp[pos] == gen:
+                raise ProtocolViolation(
+                    f"node {self.node!r} sent twice to "
+                    f"{eng.verts[nbr[pos]]!r} in one round"
+                )
+            stamp[pos] = gen
+            payload[pos] = content
+            inbox[nbr[pos]].append(pair)
+
+    def halt(self, result: Any = None) -> None:
+        if not self._halted:
+            self._engine.active -= 1
+        super().halt(result)
+
+
+class ArrayRoundEngine:
+    """Executes a node algorithm over a CSR snapshot of the comm graph.
+
+    Construction consumes the RNG stream exactly like the dict loop:
+    one derived child generator per vertex, in host vertex order, so a
+    caller-supplied parent generator is left in an identical state by
+    either path.
+    """
+
+    def __init__(self, graph: BaseGraph, factory, rng, tracer=None) -> None:
+        csr = snapshot(graph)
+        self.csr = csr
+        self.verts = csr.verts
+        self.index = csr.index
+        self.nbr = csr.nbr
+        self.tracer = tracer
+        n = csr.num_vertices
+        m_half = len(csr.nbr)
+
+        # Per-vertex {neighbor vertex: out half-edge position} routing
+        # tables, built lazily by out_pos() (only targeted `send` and
+        # inbox random access need them — broadcast walks the CSR range
+        # directly) and cached on the immutable snapshot so repeated
+        # simulations over one communication graph share them.
+        if csr._engine_tables is None:
+            csr._engine_tables = [None] * n
+        self._out_pos: List[Optional[Dict[Vertex, int]]] = csr._engine_tables
+
+        # Double-buffered message state: nodes read `cur`, write `nxt`;
+        # a buffer swap publishes a round. Each buffer holds a
+        # generation stamp and content per half-edge slot (double-send
+        # detection and O(1) inbox random access) plus per-receiver
+        # buckets of (sender, content) pairs in ascending-sender order
+        # (fresh per round — published buckets are never touched again).
+        self.cur_stamp = [-1] * m_half
+        self.cur_content: List[Any] = [None] * m_half
+        self.nxt_stamp = [-1] * m_half
+        self.nxt_content: List[Any] = [None] * m_half
+        self.cur_inbox: List[List[Tuple[Vertex, Any]]] = [[] for _ in range(n)]
+        self.nxt_inbox: List[List[Tuple[Vertex, Any]]] = [[] for _ in range(n)]
+        self.gen = 0
+        self.sent = 0
+        self.active = n
+
+        # Contexts mirror the dict loop exactly: neighbor tuples come
+        # from the graph's adjacency (not CSR fill order), and each
+        # vertex draws one derived child stream in host vertex order.
+        contexts: List[EngineNodeContext] = []
+        algorithms: List[NodeAlgorithm] = []
+        for i, v in enumerate(self.verts):
+            ctx = EngineNodeContext(
+                node=v,
+                neighbors=tuple(graph.neighbors(v)),
+                rng=derive_rng(rng, i),
+                engine=self,
+                vidx=i,
+            )
+            contexts.append(ctx)
+            algorithms.append(factory(v))
+        self.contexts = contexts
+        self.algorithms = algorithms
+
+    def out_pos(self, vidx: int) -> Dict[Vertex, int]:
+        """``{neighbor vertex: half-edge position}`` of vertex ``vidx``."""
+        table = self._out_pos[vidx]
+        if table is None:
+            csr = self.csr
+            verts, nbr = csr.verts, csr.nbr
+            table = {
+                verts[nbr[p]]: p
+                for p in range(csr.indptr[vidx], csr.indptr[vidx + 1])
+            }
+            self._out_pos[vidx] = table
+        return table
+
+    # -- round machinery -------------------------------------------------
+
+    def _swap(self) -> None:
+        """Publish the round's sends and open a fresh write buffer.
+
+        Message accounting happens here as one batched reduction over
+        the outgoing buckets (instead of a counter bump per send). The
+        next round writes into *fresh* buckets — published buckets are
+        never mutated, so an :class:`InboxView` outlives its round with
+        its contents intact (matching what a stashed dict-path inbox
+        observes).
+        """
+        self.sent += sum(map(len, self.nxt_inbox))
+        self.cur_inbox = self.nxt_inbox
+        self.nxt_inbox = [[] for _ in range(len(self.verts))]
+        self.cur_stamp, self.nxt_stamp = self.nxt_stamp, self.cur_stamp
+        self.cur_content, self.nxt_content = self.nxt_content, self.cur_content
+        self.gen += 1
+
+    def _materialize_inboxes(self) -> Dict[Vertex, Dict[Vertex, Any]]:
+        """Per-vertex inbox dicts for the tracer (only built when tracing)."""
+        cur_inbox = self.cur_inbox
+        return {
+            v: dict(cur_inbox[i]) for i, v in enumerate(self.verts)
+        }
+
+    def run(self, max_rounds: int = 10_000):
+        """Execute rounds until every node halts (or ``max_rounds``)."""
+        from .runtime import SimulationResult
+
+        contexts = self.contexts
+        algorithms = self.algorithms
+        n = len(contexts)
+        self.sent = 0  # like the dict loop, each run() counts afresh
+
+        # Round 0: on_start (sends land in the write buffer, stamp 0).
+        for i in range(n):
+            algorithms[i].on_start(contexts[i])
+        rounds = 0
+        self._swap()
+
+        while self.active:
+            if rounds >= max_rounds:
+                raise DistributedError(
+                    f"simulation exceeded {max_rounds} rounds without halting"
+                )
+            rounds += 1
+            cur_gen = self.gen - 1  # generation now being delivered
+            tracer = self.tracer
+            previously_halted = (
+                {ctx.node: ctx.halted for ctx in contexts}
+                if tracer is not None
+                else None
+            )
+            cur_inbox = self.cur_inbox
+            for i in range(n):
+                ctx = contexts[i]
+                if ctx._halted:
+                    continue
+                ctx.round = rounds
+                algorithms[i].on_round(
+                    ctx,
+                    InboxView(self, i, cur_gen) if cur_inbox[i] else _EMPTY_INBOX,
+                )
+            if tracer is not None:
+                tracer.observe_round(
+                    rounds,
+                    self._materialize_inboxes(),
+                    {ctx.node: ctx.halted for ctx in contexts},
+                    previously_halted,
+                )
+            self._swap()
+
+        return SimulationResult(
+            rounds=rounds,
+            messages_sent=self.sent,
+            results={ctx.node: ctx.result for ctx in contexts},
+            states={ctx.node: ctx.state for ctx in contexts},
+        )
+
+
+__all__ = ["ArrayRoundEngine", "EngineNodeContext", "InboxView"]

@@ -10,16 +10,24 @@ caller passes the undirected communication graph).
 The simulator charges one round per synchronous step and reports total
 rounds and message count; the LOCAL model does not charge for local
 computation or message size.
+
+Two execution paths share these semantics: the reference dict-of-dict
+round loop below, and the array-backed :class:`~repro.distsim.engine.
+ArrayRoundEngine`, which scatters messages over the half-edge arrays of
+a CSR snapshot. :class:`Simulation` dispatches between them through the
+library's one ``method="auto"|"csr"|"dict"`` rule
+(:func:`repro.graph.csr.resolve_method`); both paths are pinned
+output- and RNG-stream-identical per seed.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable
 
 from ..errors import DistributedError
-from ..graph.graph import BaseGraph
+from ..graph.csr import resolve_method
+from ..graph.graph import BaseGraph, Graph
 from ..rng import RandomLike, derive_rng, ensure_rng
 from .node import NodeAlgorithm, NodeContext
 
@@ -27,6 +35,18 @@ Vertex = Hashable
 
 #: Factory producing one algorithm instance per vertex.
 AlgorithmFactory = Callable[[Vertex], NodeAlgorithm]
+
+
+def communication_graph(graph: BaseGraph) -> Graph:
+    """The undirected communication topology of a problem graph.
+
+    Section 3.5 convention: communication along an edge is bidirectional
+    even when the problem graph is directed, so a directed instance
+    communicates over its undirected collapse. Undirected graphs are
+    returned *unchanged* (the same instance), so cached CSR snapshots —
+    and therefore the round engine's index tables — stay shared.
+    """
+    return graph.to_undirected() if graph.directed else graph
 
 
 @dataclass
@@ -40,7 +60,14 @@ class SimulationResult:
 
 
 class Simulation:
-    """Run a node algorithm over a communication graph."""
+    """Run a node algorithm over a communication graph.
+
+    ``method`` selects the execution path (see
+    :func:`repro.graph.csr.resolve_method`): ``"dict"`` is the reference
+    loop below, ``"csr"`` the array-backed round engine, and ``"auto"``
+    picks the engine at and above the kernel layer's dispatch size. The
+    two are seed-identical, so the choice is performance-only.
+    """
 
     def __init__(
         self,
@@ -48,6 +75,7 @@ class Simulation:
         factory: AlgorithmFactory,
         seed: RandomLike = None,
         tracer=None,
+        method: str = "auto",
     ) -> None:
         if graph.directed:
             raise DistributedError(
@@ -58,9 +86,17 @@ class Simulation:
         self.factory = factory
         #: Optional :class:`~repro.distsim.trace.SimulationTracer`.
         self.tracer = tracer
+        #: The execution path this simulation resolved to ("csr"/"dict").
+        self.resolved_method = resolve_method(method, graph.num_vertices)
         rng = ensure_rng(seed)
+        self._engine = None
         self._contexts: Dict[Vertex, NodeContext] = {}
         self._algorithms: Dict[Vertex, NodeAlgorithm] = {}
+        if self.resolved_method == "csr":
+            from .engine import ArrayRoundEngine
+
+            self._engine = ArrayRoundEngine(graph, factory, rng, tracer=tracer)
+            return
         for i, v in enumerate(graph.vertices()):
             ctx = NodeContext(
                 node=v,
@@ -72,6 +108,9 @@ class Simulation:
 
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Execute rounds until every node halts (or ``max_rounds``)."""
+        if self._engine is not None:
+            self._engine.tracer = self.tracer
+            return self._engine.run(max_rounds=max_rounds)
         contexts = self._contexts
         algorithms = self._algorithms
         messages_sent = 0
@@ -127,6 +166,9 @@ def run_algorithm(
     factory: AlgorithmFactory,
     seed: RandomLike = None,
     max_rounds: int = 10_000,
+    method: str = "auto",
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulation`."""
-    return Simulation(graph, factory, seed=seed).run(max_rounds=max_rounds)
+    return Simulation(graph, factory, seed=seed, method=method).run(
+        max_rounds=max_rounds
+    )

@@ -96,3 +96,32 @@ class SimulationTracer:
             record.round_index: record.messages_delivered
             for record in self.rounds
         }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able trace document (vertices rendered via ``repr``).
+
+        Vertex ``repr`` keeps arbitrary hashable vertex types
+        serializable while staying deterministic, so two traces of the
+        same seeded simulation — across processes, hash seeds, or
+        execution paths — serialize to identical bytes. This is what the
+        CI ``distsim-smoke`` step diffs.
+        """
+        return {
+            "format": "repro-trace",
+            "num_rounds": self.num_rounds,
+            "total_messages": self.total_messages,
+            "rounds": [
+                {
+                    "round": record.round_index,
+                    "messages_delivered": record.messages_delivered,
+                    "active_nodes": record.active_nodes,
+                    "newly_halted": [repr(v) for v in record.newly_halted],
+                    "delivered_edges": [
+                        [repr(u), repr(v)] for u, v in record.delivered_edges
+                    ],
+                }
+                for record in self.rounds
+            ],
+        }

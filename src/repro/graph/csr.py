@@ -91,6 +91,7 @@ class CSRGraph:
         "_edge_v_np",
         "_half_np",
         "_sp_kernels",
+        "_engine_tables",
     )
 
     def __init__(self) -> None:
@@ -108,6 +109,11 @@ class CSRGraph:
         self._edge_v_np = None
         self._half_np = None
         self._sp_kernels = None
+        #: Routing tables of the LOCAL-model round engine (half-edge
+        #: sources + per-vertex out-slot maps), built lazily by
+        #: :class:`repro.distsim.engine.ArrayRoundEngine` and cached here
+        #: because the snapshot is immutable.
+        self._engine_tables = None
 
     # ------------------------------------------------------------------
     # Construction / round-trip

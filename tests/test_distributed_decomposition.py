@@ -96,3 +96,15 @@ class TestDistributedSampler:
         dec, _ = distributed_padded_decomposition(g, seed=9)
         for u in g.vertices():
             assert dec.same_cluster(u, u)
+
+
+class TestDistributedSamplerMethodDispatch:
+    def test_engine_identical_to_dict_loop(self):
+        g = connected_gnp_graph(55, 0.1, seed=30)
+        dec_d, sim_d = distributed_padded_decomposition(g, seed=31, method="dict")
+        dec_c, sim_c = distributed_padded_decomposition(g, seed=31, method="csr")
+        assert dec_d.assignment == dec_c.assignment
+        assert dec_d.radii == dec_c.radii
+        assert (sim_d.rounds, sim_d.messages_sent) == (
+            sim_c.rounds, sim_c.messages_sent
+        )

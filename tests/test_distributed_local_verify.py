@@ -68,3 +68,21 @@ def test_matches_centralized_verifier(seed, r):
     central = unsatisfied_edges(h, g, r)
     assert sorted(map(repr, violations)) == sorted(map(repr, central))
     assert ok == (not central)
+
+
+def test_engine_path_identical_to_dict_loop():
+    g = gnp_random_digraph(50, 0.2, seed=40)
+    import random as _random
+
+    rng = _random.Random(41)
+    keep = [(u, v) for u, v, _w in g.edges() if rng.random() < 0.6]
+    h = g.edge_subgraph(keep)
+    for r in (0, 1, 2):
+        ok_d, violations_d, sim_d = distributed_lemma31_check(h, g, r, method="dict")
+        ok_c, violations_c, sim_c = distributed_lemma31_check(h, g, r, method="csr")
+        assert (ok_d, sorted(map(repr, violations_d))) == (
+            ok_c, sorted(map(repr, violations_c))
+        )
+        assert (sim_d.rounds, sim_d.messages_sent) == (
+            sim_c.rounds, sim_c.messages_sent
+        )

@@ -109,3 +109,52 @@ class TestDistributedFTConversion:
         g = complete_graph(4)
         with pytest.raises(DistributedError):
             distributed_ft_spanner(g, 2, r=-1)
+
+
+class TestSimulatorMethodDispatch:
+    """The engine path of every LOCAL consumer is pinned to the dict path."""
+
+    @staticmethod
+    def _edges(graph):
+        return sorted(map(tuple, graph.edges()))
+
+    def test_baswana_sen_engine_identical(self):
+        g = connected_gnp_graph(60, 0.12, seed=20)
+        for k in (2, 3):
+            sp_d, sim_d = distributed_baswana_sen(g, k, seed=21, method="dict")
+            sp_c, sim_c = distributed_baswana_sen(g, k, seed=21, method="csr")
+            assert self._edges(sp_d) == self._edges(sp_c)
+            assert (sim_d.rounds, sim_d.messages_sent) == (
+                sim_c.rounds, sim_c.messages_sent
+            )
+
+    def test_ft_conversion_engine_identical(self):
+        g = connected_gnp_graph(52, 0.15, seed=22)
+        a = distributed_ft_spanner(g, 2, r=1, iterations=4, seed=23, method="dict")
+        b = distributed_ft_spanner(g, 2, r=1, iterations=4, seed=23, method="csr")
+        assert self._edges(a.spanner) == self._edges(b.spanner)
+        assert (a.total_rounds, a.total_messages, a.survivor_sizes) == (
+            b.total_rounds, b.total_messages, b.survivor_sizes
+        )
+
+    def test_method_threads_through_session(self):
+        from repro import FaultModel, Session, SpannerSpec
+
+        g = connected_gnp_graph(50, 0.15, seed=24)
+        session = Session()
+        reports = {
+            method: session.build(
+                SpannerSpec(
+                    "distributed-ft", stretch=3, faults=FaultModel.vertex(1),
+                    seed=25, params={"iterations": 3}, method=method,
+                ),
+                graph=g,
+            )
+            for method in ("dict", "csr")
+        }
+        assert reports["dict"].resolved_method == "dict"
+        assert reports["csr"].resolved_method == "csr"
+        assert reports["dict"].stats == reports["csr"].stats
+        assert self._edges(reports["dict"].spanner) == self._edges(
+            reports["csr"].spanner
+        )

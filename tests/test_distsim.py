@@ -1,12 +1,34 @@
-"""The LOCAL-model simulator: delivery semantics, halting, accounting."""
+"""The LOCAL-model simulator: delivery semantics, halting, accounting.
+
+Both execution paths are covered: the reference dict loop and the
+array-backed round engine (``method="csr"``), which must be output-,
+trace-, and RNG-stream-identical to it on every seeded run.
+"""
 
 from __future__ import annotations
 
+import os
+import random
+import subprocess
+import sys
+
 import pytest
 
-from repro.distsim import NodeAlgorithm, Simulation, run_algorithm
+from repro.distsim import (
+    NodeAlgorithm,
+    Simulation,
+    SimulationTracer,
+    communication_graph,
+    run_algorithm,
+)
 from repro.errors import DistributedError, ProtocolViolation
-from repro.graph import Graph, complete_graph, path_graph
+from repro.graph import (
+    DiGraph,
+    Graph,
+    complete_graph,
+    connected_gnp_graph,
+    path_graph,
+)
 
 
 class Echo(NodeAlgorithm):
@@ -130,3 +152,288 @@ class TestProtocolEnforcement:
         a = run_algorithm(complete_graph(4), lambda v: Draw(), seed=9)
         b = run_algorithm(complete_graph(4), lambda v: Draw(), seed=9)
         assert a.results == b.results
+
+
+class RandomizedFlood(NodeAlgorithm):
+    """Exercises rng draws, state, selective sends, and mid-run halts."""
+
+    def on_start(self, ctx):
+        ctx.state["token"] = ctx.rng.random()
+        ctx.state["seen"] = []
+        if ctx.neighbors:
+            ctx.send(ctx.neighbors[0], ("seed", ctx.state["token"]))
+
+    def on_round(self, ctx, inbox):
+        for sender, content in inbox.items():
+            ctx.state["seen"].append((sender, content))
+        if ctx.round >= 3:
+            ctx.halt(result=(ctx.rng.random(), tuple(ctx.state["seen"])))
+            return
+        if inbox:
+            ctx.broadcast(("fwd", ctx.round, ctx.rng.random()))
+
+
+ENGINE_ALGORITHMS = [
+    lambda: Echo(),
+    lambda: HopCounter(),
+    lambda: RandomizedFlood(),
+]
+
+
+def run_both_paths(graph, make_algorithm, seed):
+    """Run one algorithm on both simulator paths with separate parents.
+
+    Returns ``(dict_result, csr_result, dict_tracer, csr_tracer)`` and
+    asserts the two parent generators were consumed identically.
+    """
+    outs, tracers, parents = [], [], []
+    for method in ("dict", "csr"):
+        parent = random.Random(seed)
+        tracer = SimulationTracer(record_edges=True)
+        sim = Simulation(
+            graph, lambda v: make_algorithm(), seed=parent,
+            tracer=tracer, method=method,
+        )
+        assert sim.resolved_method == method
+        outs.append(sim.run())
+        tracers.append(tracer)
+        parents.append(parent)
+    assert parents[0].random() == parents[1].random()
+    return outs[0], outs[1], tracers[0], tracers[1]
+
+
+class TestEngineEquivalence:
+    """dict loop vs array round engine: pinned identical per seed."""
+
+    @pytest.mark.parametrize("n,p,seed", [
+        (6, 0.5, 0), (12, 0.3, 1), (25, 0.15, 2), (40, 0.1, 3), (60, 0.08, 4),
+    ])
+    @pytest.mark.parametrize("algorithm_index", range(len(ENGINE_ALGORITHMS)))
+    def test_property_random_graphs(self, n, p, seed, algorithm_index):
+        graph = connected_gnp_graph(n, p, seed=seed)
+        make = ENGINE_ALGORITHMS[algorithm_index]
+        a, b, ta, tb = run_both_paths(graph, make, seed=seed + 17)
+        assert a.rounds == b.rounds
+        assert a.messages_sent == b.messages_sent
+        assert a.results == b.results
+        assert a.states == b.states
+        # Trace event sequences: RoundRecord dataclass equality covers
+        # per-round delivery counts, active counts, halt order, and the
+        # (sender, receiver) delivery sequence.
+        assert ta.rounds == tb.rounds
+        assert ta.to_dict() == tb.to_dict()
+
+    def test_inbox_view_is_dict_shaped(self):
+        observed = {}
+
+        class Probe(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.broadcast(("from", ctx.node))
+
+            def on_round(self, ctx, inbox):
+                observed[ctx.node] = {
+                    "len": len(inbox),
+                    "truthy": bool(inbox),
+                    "keys": list(inbox),
+                    "items": sorted(inbox.items()),
+                    "values": sorted(inbox.values()),
+                    "contains": ctx.neighbors[0] in inbox,
+                    "get_missing": inbox.get("no-such-node", "default"),
+                    "getitem": inbox[ctx.neighbors[0]],
+                }
+                ctx.halt()
+
+        g = complete_graph(5)
+        run_algorithm(g, lambda v: Probe(), method="csr")
+        engine_view = dict(observed)
+        observed.clear()
+        run_algorithm(g, lambda v: Probe(), method="dict")
+        assert engine_view == observed
+
+    def test_stashed_inbox_keeps_its_items(self):
+        """A view kept across rounds still reads its round's messages.
+
+        Published buckets are never mutated, so iteration/items/len of a
+        stashed inbox match what a stashed dict-path inbox observes.
+        """
+
+        class Stasher(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.broadcast(("round0", ctx.node))
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.state["saved"] = inbox
+                    ctx.broadcast(("round1", ctx.node))
+                else:
+                    ctx.halt(result=sorted(ctx.state["saved"].items()))
+
+        outs = [
+            run_algorithm(complete_graph(6), lambda v: Stasher(), method=m)
+            for m in ("dict", "csr")
+        ]
+        assert outs[0].results == outs[1].results
+        # the saved round-1 inbox still holds the round-0 broadcasts
+        assert outs[1].results[0][0] == (1, ("round0", 1))
+
+    def test_stashed_inbox_keyed_access_fails_loudly(self):
+        """Keyed access after the round raises instead of diverging.
+
+        The engine cannot serve `inbox[sender]`/.get/`in` once the round
+        is over (the message slots are re-stamped); rather than silently
+        disagreeing with the dict path it raises ProtocolViolation —
+        which .get and `in` do not swallow (they only catch KeyError).
+        """
+
+        class LateKeyed(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.state["saved"] = inbox
+                    ctx.broadcast("y")
+                else:
+                    with pytest.raises(ProtocolViolation):
+                        ctx.state["saved"].get(ctx.neighbors[0])
+                    ctx.halt()
+
+        run_algorithm(complete_graph(5), lambda v: LateKeyed(), method="csr")
+
+    def test_engine_protocol_enforcement(self):
+        class BadTarget(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.send("nowhere", "boom")
+
+        class DoubleSend(NodeAlgorithm):
+            def on_start(self, ctx):
+                for n in ctx.neighbors:
+                    ctx.send(n, 1)
+                    ctx.send(n, 2)
+
+        with pytest.raises(ProtocolViolation):
+            run_algorithm(path_graph(2), lambda v: BadTarget(), method="csr")
+        with pytest.raises(ProtocolViolation):
+            run_algorithm(path_graph(2), lambda v: DoubleSend(), method="csr")
+
+    def test_engine_max_rounds_guard(self):
+        class Forever(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(DistributedError):
+            run_algorithm(
+                path_graph(2), lambda v: Forever(), max_rounds=5, method="csr"
+            )
+
+    def test_engine_rejects_directed_graph(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(DistributedError):
+            Simulation(g, lambda v: Echo(), method="csr")
+
+    def test_auto_dispatches_by_size(self):
+        small = Simulation(path_graph(3), lambda v: Echo())
+        large = Simulation(
+            connected_gnp_graph(60, 0.1, seed=1), lambda v: Echo()
+        )
+        assert small.resolved_method == "dict"
+        assert large.resolved_method == "csr"
+
+
+class HaltImmediately(NodeAlgorithm):
+    """Every node halts in round 0 (on_start), before any round runs."""
+
+    def on_start(self, ctx):
+        ctx.halt(result="done")
+
+    def on_round(self, ctx, inbox):  # pragma: no cover - never reached
+        raise AssertionError("on_round must not run after a round-0 halt")
+
+
+class TestZeroRoundRegressions:
+    """Empty / edgeless simulations must terminate in 0 rounds on both paths."""
+
+    @pytest.mark.parametrize("method", ["dict", "csr"])
+    def test_empty_graph(self, method):
+        result = run_algorithm(Graph(), lambda v: Echo(), method=method)
+        assert result.rounds == 0
+        assert result.messages_sent == 0
+        assert result.results == {}
+
+    @pytest.mark.parametrize("method", ["dict", "csr"])
+    def test_isolated_vertices(self, method):
+        g = Graph()
+        g.add_vertices(range(7))
+        result = run_algorithm(g, lambda v: HaltImmediately(), method=method)
+        assert result.rounds == 0
+        assert result.messages_sent == 0
+        assert result.results == {v: "done" for v in range(7)}
+
+
+class TestCommunicationGraph:
+    def test_undirected_returned_unchanged(self):
+        g = complete_graph(4)
+        assert communication_graph(g) is g
+
+    def test_directed_collapses_bidirectionally(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("b", "a", 1.0)
+        g.add_edge("b", "c", 3.0)
+        comm = communication_graph(g)
+        assert not comm.directed
+        assert comm.has_edge("a", "b") and comm.has_edge("c", "b")
+        assert comm.num_edges == 2
+        # accepted by the simulator, unlike the directed problem graph
+        run_algorithm(comm, lambda v: HaltImmediately())
+        with pytest.raises(DistributedError):
+            run_algorithm(g, lambda v: HaltImmediately())
+
+
+_TRACE_SCRIPT = """
+import json, sys
+from repro.distributed import distributed_padded_decomposition
+from repro.distsim import Simulation, SimulationTracer
+from repro.graph import connected_gnp_graph
+
+method = sys.argv[1]
+g = connected_gnp_graph(30, 0.2, seed=6)
+relabeled = type(g)()
+for u, v, w in g.edges():
+    relabeled.add_edge(f"node-{u}", f"node-{v}", w)
+dec, sim = distributed_padded_decomposition(relabeled, seed=9, method=method)
+print(json.dumps({
+    "assignment": sorted((u, c) for u, c in dec.assignment.items()),
+    "rounds": sim.rounds,
+    "messages": sim.messages_sent,
+}))
+"""
+
+
+class TestHashSeedDeterminism:
+    """Seeded simulations are identical across hash-randomized processes.
+
+    String-labeled vertices make any hidden set-iteration order visible:
+    the engine and the dict loop must both produce one output per seed
+    regardless of PYTHONHASHSEED (the CI ``distsim-smoke`` step diffs the
+    full JSON traces the same way).
+    """
+
+    @pytest.mark.parametrize("method", ["csr", "dict"])
+    def test_trace_stable_across_hash_seeds(self, method):
+        outputs = set()
+        for hashseed in ("0", "1", "1234"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", os.environ.get("PYTHONPATH")])
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", _TRACE_SCRIPT, method],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, "simulation output varies with PYTHONHASHSEED"
