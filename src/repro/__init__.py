@@ -57,6 +57,13 @@ from .registry import (
     get_algorithm,
     register_algorithm,
 )
+from .serve import (
+    ChaosInjector,
+    RepairPolicy,
+    ServiceHealth,
+    SpannerService,
+    WorkloadGenerator,
+)
 from .session import Session
 from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
 from .spec import BuildReport, FaultModel, SpannerSpec
@@ -74,16 +81,21 @@ __version__ = "1.0.0"
 __all__ = [
     "AlgorithmInfo",
     "BuildReport",
+    "ChaosInjector",
     "DiGraph",
     "FaultModel",
     "Graph",
     "InvalidSpec",
+    "RepairPolicy",
     "ReproError",
+    "ServiceHealth",
     "Session",
+    "SpannerService",
     "SpannerSpec",
     "SpecError",
     "SweepPlan",
     "UnknownAlgorithm",
+    "WorkloadGenerator",
     "approximate_ft2_spanner",
     "available_algorithms",
     "baswana_sen_spanner",

@@ -17,6 +17,11 @@ Commands:
   cannot serve), or print the ``--coverage`` matrix;
 * ``merge`` — recombine persisted shard envelopes into the sequential
   path's report list (byte-identical for the same plan and seeds);
+* ``workload`` — generate a seeded operation stream (reads + mutations,
+  optional chaos bursts) for ``serve`` (:mod:`repro.serve.workload`);
+* ``serve`` — replay a workload JSON against a maintained FT 2-spanner
+  with the tiered repair policy (:class:`repro.serve.SpannerService`),
+  reporting health, repair-tier histogram, and the final spanner digest;
 * ``algorithms`` — the registry's capability table
   (:func:`repro.registry.describe_algorithms`);
 * ``verify`` — check a spanner file against a host file for a given
@@ -209,6 +214,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--out", default=None,
                        help="also write the merged result JSON here")
+
+    wl = sub.add_parser(
+        "workload", parents=[common],
+        help="generate a seeded operation stream for `repro serve`",
+    )
+    wl.add_argument("graph", help="initial host graph JSON path")
+    wl.add_argument("--ops", type=int, default=500,
+                    help="number of stream operations (default 500)")
+    wl.add_argument("--read-ratio", type=float, default=0.9,
+                    help="fraction of read ops (default 0.9)")
+    wl.add_argument("--chaos-edges", type=int, default=0,
+                    help="append a DEL_EDGE burst of this size")
+    wl.add_argument("--chaos-nodes", type=int, default=0,
+                    help="append a DEL_NODE burst of this size")
+    wl.add_argument("--adversarial", action="store_true",
+                    help="aim chaos bursts at the spanner's own edges")
+    wl.add_argument("--r", type=int, default=1,
+                    help="tolerance of the spanner adversarial bursts target")
+    wl.add_argument("--out", required=True, help="workload JSON output path")
+
+    srv = sub.add_parser(
+        "serve", parents=[common],
+        help="replay a workload stream against a maintained FT 2-spanner",
+    )
+    srv.add_argument("graph", help="initial host graph JSON path")
+    srv.add_argument("workload", help="workload JSON path (see `workload`)")
+    srv.add_argument("--r", type=int, default=1, help="fault tolerance")
+    srv.add_argument("--algorithm", default="ft2-stream",
+                     help="registered stretch-2 builder for (re)builds")
+    srv.add_argument(
+        "--policy", choices=["tiered", "lazy", "rebuild-per-op"],
+        default="tiered",
+        help="tiered eager repair (default), lazy (run degraded between "
+             "repairs), or the rebuild-per-mutation baseline",
+    )
+    srv.add_argument("--patch-threshold", type=float, default=0.02,
+                     help="damage fraction up to which the patch tier runs")
+    srv.add_argument("--rebuild-threshold", type=float, default=0.10,
+                     help="damage fraction above which a full rebuild runs")
+    srv.add_argument(
+        "--final-rebuild", action="store_true",
+        help="finish with a full rebuild (compaction): the final spanner "
+             "then equals a from-scratch build on the final host",
+    )
+    srv.add_argument("--out", default=None,
+                     help="write the final spanner JSON here")
+    srv.add_argument("--results-out", default=None,
+                     help="write the per-op result trace JSON here")
 
     sub.add_parser(
         "algorithms", parents=[common],
@@ -656,6 +709,130 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _cmd_workload(args) -> int:
+    from .serve import (
+        ChaosInjector,
+        WorkloadGenerator,
+        apply_mutations,
+        read_write_weights,
+        save_workload,
+        stream_ft2_spanner,
+    )
+
+    host = load_json(args.graph)
+    generator = WorkloadGenerator(
+        host, seed=_seed_of(args), weights=read_write_weights(args.read_ratio)
+    )
+    ops = generator.generate(args.ops)
+    chaos_ops = 0
+    if args.chaos_edges or args.chaos_nodes:
+        # Bursts target the host state the stream leaves behind, so every
+        # chaos deletion names a then-live object.
+        evolved = apply_mutations(host.copy(), ops)
+        spanner = (
+            stream_ft2_spanner(evolved, args.r) if args.adversarial else None
+        )
+        chaos = ChaosInjector(
+            seed=_seed_of(args) + 1, adversarial=args.adversarial
+        )
+        burst = chaos.edge_burst(evolved, args.chaos_edges, spanner=spanner)
+        burst += chaos.node_burst(evolved, args.chaos_nodes, spanner=spanner)
+        chaos_ops = len(burst)
+        ops += burst
+    save_workload(ops, args.out)
+    reads = sum(1 for op in ops if not op.is_mutation)
+    doc = {
+        "ops": len(ops),
+        "reads": reads,
+        "mutations": len(ops) - reads,
+        "chaos_ops": chaos_ops,
+        "adversarial": bool(args.adversarial),
+        "out": args.out,
+    }
+    if args.json:
+        _print_json(doc)
+    else:
+        print(
+            f"wrote {doc['ops']} ops ({doc['reads']} reads, "
+            f"{doc['mutations']} mutations, {chaos_ops} chaos) to {args.out}"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import (
+        RepairPolicy,
+        load_workload,
+        spanner_digest,
+    )
+
+    host = load_json(args.graph)
+    ops = load_workload(args.workload)
+    if args.policy == "rebuild-per-op":
+        policy = RepairPolicy.rebuild_per_mutation()
+    elif args.policy == "lazy":
+        policy = RepairPolicy.lazy(args.patch_threshold, args.rebuild_threshold)
+    else:
+        policy = RepairPolicy(args.patch_threshold, args.rebuild_threshold)
+    spec = SpannerSpec(
+        args.algorithm,
+        stretch=2,
+        faults=FaultModel.vertex(args.r) if args.r else FaultModel.none(),
+        method=_method_of(args),
+        seed=_seed_of(args),
+    )
+    session = Session(seed=_seed_of(args))
+    service = session.serve(spec, graph=host, policy=policy)
+    results = service.apply_all(ops)
+    if args.final_rebuild:
+        service.repair(tier="full")
+    doc = {
+        "format": "repro-serve-result",
+        "version": 1,
+        "final_rebuild": bool(args.final_rebuild),
+        "summary": service.summary(),
+        "spanner_digest": spanner_digest(service.spanner),
+    }
+    if args.results_out:
+        with open(args.results_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "format": "repro-serve-trace",
+                    "version": 1,
+                    "results": [r.to_dict() for r in results],
+                },
+                handle, sort_keys=True, indent=2,
+            )
+            handle.write("\n")
+    if args.out:
+        dump_json(service.spanner, args.out)
+    if args.json:
+        _print_json(doc)
+    else:
+        summary = doc["summary"]
+        print(render_table(
+            ["quantity", "value"],
+            [
+                ["ops applied", summary["ops_applied"]],
+                ["health", summary["health"]],
+                ["valid (Lemma 3.1)", summary["valid"]],
+                ["host edges", summary["host_edges"]],
+                ["spanner edges", summary["spanner_edges"]],
+                ["patch repairs", summary["stats"]["tiers"]["patch"]],
+                ["region repairs", summary["stats"]["tiers"]["region"]],
+                ["full rebuilds", summary["stats"]["tiers"]["full"]],
+                ["degraded answers", summary["stats"]["degraded_answers"]],
+                ["spanner digest", doc["spanner_digest"]],
+            ],
+            title=f"serve {args.algorithm} r={args.r} policy={args.policy}",
+        ))
+        if args.out:
+            print(f"final spanner written to {args.out}")
+        if args.results_out:
+            print(f"op trace written to {args.results_out}")
+    return 0 if service.is_valid() else 2
+
+
 def _cmd_algorithms(args) -> int:
     rows = describe_algorithms()
     if args.json:
@@ -713,6 +890,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "merge": _cmd_merge,
+        "workload": _cmd_workload,
+        "serve": _cmd_serve,
         "algorithms": _cmd_algorithms,
         "verify": _cmd_verify,
     }

@@ -208,7 +208,7 @@ def is_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
 
 
 class IncrementalFT2Verifier:
-    """Incremental Lemma 3.1 state for spanners grown edge by edge.
+    """Incremental Lemma 3.1 state for spanners *and hosts* that mutate.
 
     The Section 3 rounding/repair loops repeatedly ask "is the current
     candidate an r-fault-tolerant 2-spanner, and which host edges still
@@ -219,9 +219,18 @@ class IncrementalFT2Verifier:
     :meth:`add_edge` — adding spanner edge ``(u, v)`` can only create
     two-paths that use it as one of their two hops, so scanning the
     current neighbourhoods of ``u`` and ``v`` finds every affected pair.
+    :meth:`remove_edge` is the exact inverse (the serving layer's damage
+    detector), and the ``add_host_* / remove_host_*`` methods mutate the
+    *host* side in the same O(Δ) budget, which is what lets
+    :class:`repro.serve.SpannerService` keep a live validity verdict
+    under an operation stream without ever rescanning the graph.
 
-    ``unsatisfied()`` returns violations in host ``edges()`` order,
-    matching :func:`unsatisfied_edges` on the equivalent static spanner.
+    On a static host, ``unsatisfied()`` returns violations in host
+    ``edges()`` order, matching :func:`unsatisfied_edges` on the
+    equivalent static spanner. Once the host mutates, the order is host
+    edge *insertion* order (removed edges vanish; a re-added edge moves
+    to the end) — still deterministic, and still equal as a set to the
+    static recomputation on the equivalent graphs.
     """
 
     def __init__(self, graph: BaseGraph, r: int, spanner: Optional[BaseGraph] = None):
@@ -234,7 +243,9 @@ class IncrementalFT2Verifier:
         self._host_edges: List[Tuple[Vertex, Vertex]] = [
             (u, v) for u, v, _w in graph.edges()
         ]
-        # Ordered endpoint pair -> position in the host edge list.
+        # Ordered endpoint pair -> position in the host edge list. Removed
+        # host edges leave a tombstone (``_alive[pos] = False``) so every
+        # other position — and with it ``unsatisfied()`` order — is stable.
         self._pos: Dict[Tuple[Vertex, Vertex], int] = {}
         for pos, (u, v) in enumerate(self._host_edges):
             self._pos[(u, v)] = pos
@@ -242,11 +253,24 @@ class IncrementalFT2Verifier:
                 self._pos[(v, u)] = pos
         self._counts = [0] * len(self._host_edges)
         self._kept = [False] * len(self._host_edges)
+        self._alive = [True] * len(self._host_edges)
+        self._num_alive = len(self._host_edges)
         self._unsat = set(range(len(self._host_edges))) if self._need > 0 else set()
         self._out: Dict[Vertex, set] = {v: set() for v in graph.vertices()}
         self._in: Dict[Vertex, set] = (
             {v: set() for v in graph.vertices()} if self._directed else self._out
         )
+        # Host adjacency mirrors, so vertex removal is O(degree) instead of
+        # a scan over the whole host edge table.
+        self._host_out: Dict[Vertex, set] = {v: set() for v in graph.vertices()}
+        self._host_in: Dict[Vertex, set] = (
+            {v: set() for v in graph.vertices()}
+            if self._directed
+            else self._host_out
+        )
+        for u, v in self._host_edges:
+            self._host_out[u].add(v)
+            self._host_in[v].add(u)
         if spanner is not None:
             for u, v, _w in spanner.edges():
                 self.add_edge(u, v)
@@ -258,6 +282,16 @@ class IncrementalFT2Verifier:
         counts[pos] += 1
         if counts[pos] >= self._need:
             self._unsat.discard(pos)
+
+    def _drop(self, pos: Optional[int]) -> None:
+        if pos is None:
+            return
+        counts = self._counts
+        counts[pos] -= 1
+        if counts[pos] < self._need and not self._kept[pos]:
+            self._unsat.add(pos)
+
+    # -- spanner mutations ---------------------------------------------
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add spanner edge/arc ``(u, v)``; no-op if already present.
@@ -281,6 +315,154 @@ class IncrementalFT2Verifier:
         out_u.add(v)
         self._in[v].add(u)
 
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove spanner edge/arc ``(u, v)`` — the inverse of :meth:`add_edge`.
+
+        Every host pair that used the edge as one hop of a two-path loses
+        one path; the pair itself loses its kept-flag. Newly violating
+        host edges surface in :meth:`unsatisfied` immediately, which is
+        the O(Δ) damage detection the serving layer's repair policy runs
+        on.
+        """
+        out_u = self._out.get(u)
+        if out_u is None or v not in out_u:
+            raise FaultToleranceError(
+                f"({u!r}, {v!r}) is not a spanner edge"
+            )
+        out_u.discard(v)
+        self._in[v].discard(u)
+        pos = self._pos.get((u, v))
+        if pos is not None:
+            self._kept[pos] = False
+            if self._counts[pos] < self._need:
+                self._unsat.add(pos)
+        get = self._pos.get
+        # Lost two-paths u -> v -> x and x -> u -> v, mirroring add_edge.
+        for x in self._out[v]:
+            self._drop(get((u, x)))
+        for x in self._in[u]:
+            self._drop(get((x, v)))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether ``(u, v)`` is currently a spanner edge/arc."""
+        out_u = self._out.get(u)
+        return out_u is not None and v in out_u
+
+    # -- host mutations ------------------------------------------------
+
+    def add_host_vertex(self, v: Vertex) -> None:
+        """Add an (isolated) host vertex; no-op if already present."""
+        if v in self._out:
+            return
+        self._out[v] = set()
+        self._host_out[v] = set()
+        if self._directed:
+            self._in[v] = set()
+            self._host_in[v] = set()
+
+    def add_host_edge(self, u: Vertex, v: Vertex) -> None:
+        """Register a new host edge/arc; endpoints are added if missing.
+
+        The edge's two-path count is computed once from the current
+        spanner neighbourhoods (one set intersection), after which it is
+        maintained incrementally like every other host edge. No-op if the
+        edge is already live.
+        """
+        self.add_host_vertex(u)
+        self.add_host_vertex(v)
+        if v in self._host_out[u]:
+            return
+        pos = len(self._host_edges)
+        self._host_edges.append((u, v))
+        self._pos[(u, v)] = pos
+        if not self._directed:
+            self._pos[(v, u)] = pos
+        self._host_out[u].add(v)
+        self._host_in[v].add(u)
+        kept = v in self._out[u]
+        mids = self._out[u] & self._in[v]
+        mids.discard(u)
+        mids.discard(v)
+        count = len(mids)
+        self._counts.append(count)
+        self._kept.append(kept)
+        self._alive.append(True)
+        self._num_alive += 1
+        if not kept and count < self._need:
+            self._unsat.add(pos)
+
+    def remove_host_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove host edge/arc ``(u, v)``.
+
+        A kept spanner edge is removed first (a spanner is a subgraph of
+        its host), so the damage it causes to *other* host pairs is
+        accounted before the pair itself stops being a demand.
+        """
+        pos = self._pos.get((u, v))
+        if pos is None:
+            raise FaultToleranceError(f"({u!r}, {v!r}) is not a host edge")
+        if v in self._out.get(u, ()):
+            self.remove_edge(u, v)
+        a, b = self._host_edges[pos]
+        del self._pos[(a, b)]
+        if not self._directed:
+            self._pos.pop((b, a), None)
+        self._alive[pos] = False
+        self._num_alive -= 1
+        self._unsat.discard(pos)
+        self._host_out[u].discard(v)
+        self._host_in[v].discard(u)
+
+    def remove_host_vertex(self, v: Vertex) -> None:
+        """Remove a host vertex with all incident host and spanner edges.
+
+        Spanner edges through ``v`` go first (each one's removal updates
+        the two-path counts of the pairs it served as a midpoint hop),
+        then the incident host edges stop being demands, then the vertex
+        itself disappears. O(degree · Δ) total.
+        """
+        if v not in self._out:
+            raise FaultToleranceError(f"{v!r} is not a host vertex")
+        for x in list(self._out[v]):
+            self.remove_edge(v, x)
+        if self._directed:
+            for x in list(self._in[v]):
+                self.remove_edge(x, v)
+        for x in list(self._host_out[v]):
+            self.remove_host_edge(v, x)
+        if self._directed:
+            for x in list(self._host_in[v]):
+                self.remove_host_edge(x, v)
+        del self._out[v]
+        del self._host_out[v]
+        if self._directed:
+            del self._in[v]
+            del self._host_in[v]
+
+    def has_host_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` is currently a host vertex."""
+        return v in self._out
+
+    def has_host_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether ``(u, v)`` is currently a live host edge/arc."""
+        return (u, v) in self._pos
+
+    @property
+    def num_host_edges(self) -> int:
+        """Number of live host edges (tombstones excluded)."""
+        return self._num_alive
+
+    def host_edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Live host edges in insertion order (the ``unsatisfied`` order)."""
+        alive = self._alive
+        return (
+            pair
+            for pos, pair in enumerate(self._host_edges)
+            if alive[pos]
+        )
+
+    # -- queries -------------------------------------------------------
+
     def count_two_paths(self, u: Vertex, v: Vertex) -> int:
         """Current number of length-2 paths for host edge ``(u, v)``."""
         pos = self._pos.get((u, v))
@@ -297,6 +479,6 @@ class IncrementalFT2Verifier:
         return not self._unsat
 
     def unsatisfied(self) -> List[Tuple[Vertex, Vertex]]:
-        """Violating host edges, in host ``edges()`` order."""
+        """Violating host edges, in host edge insertion order."""
         host = self._host_edges
         return [host[pos] for pos in sorted(self._unsat)]

@@ -102,6 +102,16 @@ class UnknownAlgorithm(RegistryError):
         self.available = tuple(sorted(available))
 
 
+class SweepError(ReproError):
+    """A sharded sweep failed in a way naming the shard and the cause.
+
+    Raised by :func:`repro.sweep.run_sweep` when a shard's worker dies
+    twice (once in the pool, once on the in-process retry) — instead of
+    surfacing a bare ``BrokenProcessPool`` that says nothing about which
+    shard or spec is at fault.
+    """
+
+
 class DistributedError(ReproError):
     """Errors raised by the LOCAL-model simulator or distributed algorithms."""
 

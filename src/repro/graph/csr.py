@@ -903,3 +903,16 @@ def maybe_snapshot(graph: BaseGraph, build: bool = True) -> Optional[CSRGraph]:
             return None
         return cache[1]
     return snapshot(graph)
+
+
+def invalidate_snapshot(graph: BaseGraph) -> None:
+    """Drop ``graph``'s cached CSR snapshot, releasing its arrays.
+
+    Correctness never needs this — every mutator bumps ``_version`` and
+    the cache checks it — but a long-lived owner of a mutating graph
+    (the serving layer) calls it to free a snapshot that will never be
+    valid again, instead of keeping the stale O(n + m) arrays pinned
+    until the next global query happens to rebuild them.
+    """
+    if getattr(graph, "_csr_cache", None) is not None:
+        graph._csr_cache = None  # type: ignore[attr-defined]

@@ -52,6 +52,7 @@ _BUILTIN_MODULES = (
     "repro.two_spanner.approx",
     "repro.distributed.ft_spanner",
     "repro.distributed.cluster_lp",
+    "repro.serve.repair",
 )
 
 _REGISTRY: Dict[str, "AlgorithmInfo"] = {}

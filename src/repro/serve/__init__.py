@@ -1,0 +1,60 @@
+"""repro.serve — the self-healing spanner service layer.
+
+Everything above this package builds a spanner *once*; this package keeps
+one **valid while the host graph changes underneath it**, which is the
+regime the ROADMAP's north star (a long-lived spanner service) actually
+cares about. Four modules:
+
+* :mod:`repro.serve.workload` — seeded operation streams
+  (``ADD_NODE`` / ``ADD_EDGE`` / ``DEL_EDGE`` / ``DEL_NODE`` /
+  ``QUERY_DIST`` / ``READ_NBRS``) with JSON round-trip, in the
+  WorkloadGenerator idiom of the graph-database benchmark suites;
+* :mod:`repro.serve.repair` — the ``ft2-stream`` linear greedy builder
+  (registered with :mod:`repro.registry`), fast enough to be the
+  service's rebuild tier at n = 10^4;
+* :mod:`repro.serve.service` — :class:`SpannerService`: applies an
+  operation stream against a maintained FT 2-spanner with a **tiered
+  repair policy** (patch → region rebuild → full rebuild) instead of
+  rebuild-per-op, reporting :class:`ServiceHealth` per answer;
+* :mod:`repro.serve.chaos` — :class:`ChaosInjector`: seeded burst
+  deletions, including the adversarial "hit the spanner edges first"
+  mode.
+"""
+
+from .chaos import ChaosInjector
+from .repair import stream_ft2_spanner
+from .service import (
+    OpResult,
+    RepairPolicy,
+    ServiceHealth,
+    ServiceStats,
+    SpannerService,
+    spanner_digest,
+)
+from .workload import (
+    OP_TYPES,
+    Operation,
+    WorkloadGenerator,
+    apply_mutations,
+    load_workload,
+    read_write_weights,
+    save_workload,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "OP_TYPES",
+    "OpResult",
+    "Operation",
+    "RepairPolicy",
+    "ServiceHealth",
+    "ServiceStats",
+    "SpannerService",
+    "WorkloadGenerator",
+    "apply_mutations",
+    "load_workload",
+    "read_write_weights",
+    "save_workload",
+    "spanner_digest",
+    "stream_ft2_spanner",
+]

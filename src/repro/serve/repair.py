@@ -1,0 +1,77 @@
+"""``ft2-stream``: the linear greedy FT 2-spanner behind the service.
+
+The existing combinatorial baseline
+(:func:`repro.two_spanner.combinatorial.greedy_ft2_spanner`) re-scores
+every candidate move per iteration — fine for LP-sized instances,
+hopeless as the rebuild tier of a service at n = 10^4. This module adds
+the streaming variant: walk the host edges **once** in deterministic
+``edges()`` order and buy an edge iff Lemma 3.1 is not already satisfied
+for it at that moment.
+
+Correctness is monotonicity: :class:`repro.core.verify.IncrementalFT2Verifier`
+counts only grow while edges are added, so an edge skipped because it had
+``r + 1`` two-paths (or was already bought as a hop of an earlier path)
+stays satisfied, and the single pass ends Lemma 3.1-valid. Total cost is
+O(m · Δ) — each purchase is one O(Δ) verifier update — with no LP, no
+re-scoring, and no randomness: the output is a pure function of the host
+edge order, which is what the serve CI's cross-``PYTHONHASHSEED``
+byte-identity check leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..core.verify import IncrementalFT2Verifier
+from ..errors import FaultToleranceError
+from ..graph.graph import BaseGraph
+from ..registry import register_algorithm
+from ..spec import SpannerSpec, require_stretch
+
+Artifact = Tuple[BaseGraph, Dict[str, Any]]
+
+
+def stream_ft2_spanner(graph: BaseGraph, r: int) -> BaseGraph:
+    """One-pass greedy r-fault-tolerant 2-spanner of ``graph``.
+
+    Deterministic (host edge order only), always Lemma 3.1-valid, and
+    linear in the number of host edges times Δ.
+    """
+    if r < 0:
+        raise FaultToleranceError(f"r must be nonnegative, got {r}")
+    verifier = IncrementalFT2Verifier(graph, r)
+    need = r + 1
+    bought = []
+    for u, v, _w in graph.edges():
+        if not verifier.has_edge(u, v) and verifier.count_two_paths(u, v) < need:
+            verifier.add_edge(u, v)
+            bought.append((u, v))
+    return graph.edge_subgraph(bought)
+
+
+@register_algorithm(
+    "ft2-stream",
+    summary=(
+        "One-pass streaming greedy for r-fault-tolerant 2-spanners; the "
+        "rebuild tier of the serving layer"
+    ),
+    stretch_domain="exactly 2 (Lemma 3.1 demand structure)",
+    weighted=True,
+    directed=True,
+    fault_tolerant=True,
+    fault_kinds=("none", "vertex", "edge"),
+    stretch_kind="fixed",
+    fixed_stretch=2.0,
+)
+def _build_ft2_stream(graph: BaseGraph, spec: SpannerSpec, seed) -> Artifact:
+    """Registry adapter for :func:`stream_ft2_spanner` (stretch fixed at 2)."""
+    require_stretch(spec, 2)
+    spanner = stream_ft2_spanner(graph, spec.faults.r)
+    stats = {
+        "host_edges": graph.num_edges,
+        "spanner_edges": spanner.num_edges,
+    }
+    return spanner, stats
+
+
+__all__ = ["stream_ft2_spanner"]

@@ -191,6 +191,25 @@ class Session:
         )
         return report
 
+    def serve(
+        self,
+        spec: SpannerSpec,
+        graph: Optional[BaseGraph] = None,
+        policy=None,
+    ):
+        """Start a :class:`repro.serve.SpannerService` on this session.
+
+        The service performs its initial build (and any full-rebuild
+        repairs) through *this* session, so rebuild seeds come from the
+        session's root stream and snapshot counters keep meaning across
+        the service's lifetime. ``policy`` is a
+        :class:`repro.serve.RepairPolicy` (default: eager tiered repair).
+        """
+        from .serve.service import SpannerService
+
+        host = self._resolve_graph(spec, graph)
+        return SpannerService(host, spec, policy=policy, session=self)
+
     def build_many(
         self, specs: Iterable[SpannerSpec], graph: Optional[BaseGraph] = None
     ) -> List[BuildReport]:

@@ -37,11 +37,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .errors import InvalidSpec
+from .errors import InvalidSpec, SweepError
 from .graph.graph import BaseGraph
 from .graph.io import graph_from_dict, graph_to_dict, load_json
 from .registry import get_algorithm
@@ -480,6 +483,7 @@ def run_shard(plan: SweepPlan, include_spanner: bool = False) -> Dict[str, Any]:
         "shard": {"index": index, "of": of},
         "plan_size": plan.total_size,
         "indices": list(plan.parent_indices),
+        "attempts": 1,
         "reports": reports,
         "timing": {
             "wall_times_s": wall_times,
@@ -504,11 +508,30 @@ def shard_report_path(reports_dir: str, index: int) -> str:
 
 
 def save_shard_report(envelope: Dict[str, Any], reports_dir: str) -> str:
-    """Persist one shard envelope under its canonical name."""
+    """Persist one shard envelope under its canonical name, crash-safely.
+
+    The document is serialized to a temp file *in* ``reports_dir`` and
+    ``os.replace``d into place (atomic on POSIX and Windows within one
+    filesystem), so a worker killed mid-write leaves either no
+    ``shard-<i>.json`` or a complete one — never a truncated envelope
+    for the strict merge layer to choke on.
+    """
     os.makedirs(reports_dir, exist_ok=True)
     path = shard_report_path(reports_dir, envelope["shard"]["index"])
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(envelope, sort_keys=True, indent=2) + "\n")
+    blob = json.dumps(envelope, sort_keys=True, indent=2) + "\n"
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=reports_dir
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
     return path
 
 
@@ -552,19 +575,36 @@ def run_sweep(
     else:
         shards = [plan.shard(i, workers) for i in range(workers)]
         docs = [shard.to_dict() for shard in shards]
-        import multiprocessing
-
         context = multiprocessing.get_context("spawn")
-        from concurrent.futures import ProcessPoolExecutor
-
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as pool:
-            envelopes = list(
-                pool.map(
-                    _run_shard_worker, docs, [include_spanner] * len(docs)
-                )
-            )
+            futures = [
+                pool.submit(_run_shard_worker, doc, include_spanner)
+                for doc in docs
+            ]
+            envelopes = []
+            for index, future in enumerate(futures):
+                try:
+                    envelopes.append(future.result())
+                    continue
+                except Exception as error:
+                    # A killed worker (or a pool broken by a sibling's
+                    # death) fails every pending future; each affected
+                    # shard gets one deterministic in-process retry —
+                    # run_shard is a pure function of the resolved plan.
+                    first_error = error
+                try:
+                    envelope = _run_shard_worker(docs[index], include_spanner)
+                except Exception as retry_error:
+                    raise SweepError(
+                        f"shard {index}/{workers} of plan "
+                        f"{plan.fingerprint()!s} failed twice: worker raised "
+                        f"{first_error!r}; in-process retry raised "
+                        f"{retry_error!r}"
+                    ) from retry_error
+                envelope["attempts"] = 2
+                envelopes.append(envelope)
     if reports_dir is not None:
         for envelope in envelopes:
             save_shard_report(envelope, reports_dir)

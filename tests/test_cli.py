@@ -355,3 +355,96 @@ class TestSweep:
                      "--algorithms", "greedy", "--r", "0",
                      "--params", "{bad"]) == 1
         assert "JSON" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture
+    def dense_path(self, tmp_path):
+        path = str(tmp_path / "dense.json")
+        assert main(["generate", "gnp-connected", "--n", "20", "--p", "0.6",
+                     "--seed", "3", "--out", path]) == 0
+        return path
+
+    @pytest.fixture
+    def workload_path(self, dense_path, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        assert main(["workload", dense_path, "--ops", "120",
+                     "--read-ratio", "0.7", "--seed", "5",
+                     "--out", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_workload_emits_valid_trace(self, workload_path):
+        from repro.serve import load_workload
+
+        ops = load_workload(workload_path)
+        assert len(ops) == 120
+
+    def test_workload_chaos_flags(self, dense_path, tmp_path, capsys):
+        path = str(tmp_path / "chaos.json")
+        assert main(["workload", dense_path, "--ops", "50",
+                     "--chaos-edges", "6", "--chaos-nodes", "2",
+                     "--adversarial", "--seed", "5", "--json",
+                     "--out", path]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["chaos_ops"] == 8
+        assert doc["adversarial"] is True
+        assert doc["ops"] == 58
+
+    def test_serve_replays_and_stays_valid(
+        self, dense_path, workload_path, tmp_path, capsys
+    ):
+        spanner_out = str(tmp_path / "spanner.json")
+        trace_out = str(tmp_path / "results.json")
+        assert main(["serve", dense_path, workload_path, "--r", "1",
+                     "--seed", "0", "--json", "--out", spanner_out,
+                     "--results-out", trace_out]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-serve-result"
+        assert doc["summary"]["valid"] is True
+        assert doc["summary"]["ops_applied"] == 120
+        spanner = load_json(spanner_out)
+        assert spanner.num_edges > 0
+        with open(trace_out) as handle:
+            trace = json.load(handle)
+        assert trace["format"] == "repro-serve-trace"
+        assert len(trace["results"]) == 120
+
+    def test_serve_policies_and_digest_agreement(
+        self, dense_path, workload_path, capsys
+    ):
+        digests = {}
+        for policy in ("tiered", "rebuild-per-op"):
+            assert main(["serve", dense_path, workload_path,
+                         "--policy", policy, "--final-rebuild",
+                         "--seed", "0", "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["summary"]["valid"] is True
+            digests[policy] = doc["spanner_digest"]
+        # after a final full rebuild every policy lands on the same spanner
+        assert digests["tiered"] == digests["rebuild-per-op"]
+
+    def test_serve_final_rebuild_matches_from_scratch(
+        self, dense_path, workload_path, capsys
+    ):
+        from repro.serve import (
+            apply_mutations,
+            load_workload,
+            spanner_digest,
+            stream_ft2_spanner,
+        )
+
+        assert main(["serve", dense_path, workload_path, "--r", "1",
+                     "--final-rebuild", "--seed", "0", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        host = load_json(dense_path)
+        final = apply_mutations(host, load_workload(workload_path))
+        assert doc["spanner_digest"] == spanner_digest(
+            stream_ft2_spanner(final, 1)
+        )
+
+    def test_serve_human_table(self, dense_path, workload_path, capsys):
+        assert main(["serve", dense_path, workload_path]) == 0
+        out = capsys.readouterr().out
+        assert "ops applied" in out
+        assert "spanner digest" in out

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    IncrementalFT2Verifier,
     count_two_paths,
     fault_tolerant_spanner,
     first_violating_fault_set,
@@ -22,6 +23,7 @@ from repro.core import (
     is_ft_2spanner,
     unsatisfied_edges,
 )
+from repro.errors import FaultToleranceError
 from repro.graph import (
     complete_digraph,
     complete_graph,
@@ -132,4 +134,163 @@ class TestMetamorphicProperties:
             relabeled_h.add_edge(mapping[u], mapping[v], w)
         assert (
             is_fault_tolerant_spanner(relabeled_h, relabeled_g, 3, 1) == verdict
+        )
+
+
+class TestIncrementalVerifierUnderMutation:
+    """The serving layer's damage detector vs. the static ground truth.
+
+    Random interleaved spanner *and host* mutations (the full extended
+    API: add/remove spanner edges, host edges, host vertices) are applied
+    to an :class:`IncrementalFT2Verifier` and mirrored onto plain host /
+    spanner graphs; after every step the incremental ``unsatisfied()``
+    set must equal :func:`unsatisfied_edges` recomputed from scratch on
+    the mirrors.
+    """
+
+    KINDS = (
+        "add_spanner",
+        "add_spanner",
+        "remove_spanner",
+        "remove_spanner",
+        "add_host_edge",
+        "remove_host_edge",
+        "add_host_vertex",
+        "remove_host_vertex",
+    )
+
+    @staticmethod
+    def _check(verifier, spanner, host, r):
+        def canon(pair):
+            u, v = pair
+            if host.directed or repr(u) <= repr(v):
+                return (u, v)
+            return (v, u)
+
+        expected = {canon(e) for e in unsatisfied_edges(spanner, host, r)}
+        got = {canon(e) for e in verifier.unsatisfied()}
+        assert got == expected
+        assert verifier.num_unsatisfied == len(expected)
+        assert verifier.is_valid() == (not expected)
+        assert verifier.num_host_edges == host.num_edges
+
+    def _step(self, rng, kind, verifier, spanner, host):
+        """Apply one mutation to verifier and mirrors; False if inapplicable."""
+        if kind == "add_spanner":
+            missing = [
+                (u, v)
+                for u, v, _w in host.edges()
+                if not spanner.has_edge(u, v)
+            ]
+            if not missing:
+                return False
+            u, v = missing[rng.randrange(len(missing))]
+            verifier.add_edge(u, v)
+            spanner.add_edge(u, v, host.weight(u, v))
+        elif kind == "remove_spanner":
+            edges = [(u, v) for u, v, _w in spanner.edges()]
+            if not edges:
+                return False
+            u, v = edges[rng.randrange(len(edges))]
+            verifier.remove_edge(u, v)
+            spanner.remove_edge(u, v)
+        elif kind == "add_host_edge":
+            nodes = list(host.vertices())
+            pairs = [
+                (u, v)
+                for u in nodes
+                for v in nodes
+                if u != v and not host.has_edge(u, v)
+            ]
+            if not pairs:
+                return False
+            u, v = pairs[rng.randrange(len(pairs))]
+            verifier.add_host_edge(u, v)
+            host.add_edge(u, v, 1.0)
+            spanner.add_vertex(u)
+            spanner.add_vertex(v)
+        elif kind == "remove_host_edge":
+            edges = [(u, v) for u, v, _w in host.edges()]
+            if not edges:
+                return False
+            u, v = edges[rng.randrange(len(edges))]
+            verifier.remove_host_edge(u, v)
+            host.remove_edge(u, v)
+            if spanner.has_edge(u, v):
+                spanner.remove_edge(u, v)
+        elif kind == "add_host_vertex":
+            name = f"fresh-{host.num_vertices}-{rng.randrange(1000)}"
+            if host.has_vertex(name):
+                return False
+            verifier.add_host_vertex(name)
+            host.add_vertex(name)
+            spanner.add_vertex(name)
+        else:  # remove_host_vertex
+            nodes = list(host.vertices())
+            if len(nodes) <= 3:
+                return False
+            v = nodes[rng.randrange(len(nodes))]
+            verifier.remove_host_vertex(v)
+            host.remove_vertex(v)
+            if spanner.has_vertex(v):
+                spanner.remove_vertex(v)
+        return True
+
+    def _run(self, host, r, seed, num_ops=60):
+        rng = random.Random(seed)
+        spanner = type(host)()
+        spanner.add_vertices(host.vertices())
+        verifier = IncrementalFT2Verifier(host.copy(), r, spanner)
+        self._check(verifier, spanner, host, r)
+        for _step in range(num_ops):
+            kind = self.KINDS[rng.randrange(len(self.KINDS))]
+            if self._step(rng, kind, verifier, spanner, host):
+                self._check(verifier, spanner, host, r)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), r=st.integers(0, 2))
+    def test_undirected_interleaved_mutations(self, seed, r):
+        host = connected_gnp_graph(8, 0.45, seed=seed % 50)
+        self._run(host, r, seed)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), r=st.integers(0, 2))
+    def test_directed_interleaved_mutations(self, seed, r):
+        host = gnp_random_digraph(8, 0.4, seed=seed % 50)
+        self._run(host, r, seed)
+
+    def test_readded_host_edge_moves_to_the_end(self):
+        g = complete_graph(4)
+        verifier = IncrementalFT2Verifier(g, 0)
+        first = next(iter(verifier.host_edges()))
+        verifier.remove_host_edge(*first)
+        assert not verifier.has_host_edge(*first)
+        verifier.add_host_edge(*first)
+        assert list(verifier.host_edges())[-1] == first
+        assert verifier.num_host_edges == g.num_edges
+
+    def test_removals_validate_their_targets(self):
+        g = complete_graph(4)
+        verifier = IncrementalFT2Verifier(g, 1)
+        with pytest.raises(FaultToleranceError, match="not a spanner edge"):
+            verifier.remove_edge(0, 1)
+        with pytest.raises(FaultToleranceError, match="not a host edge"):
+            verifier.remove_host_edge(0, "ghost")
+        with pytest.raises(FaultToleranceError, match="not a host vertex"):
+            verifier.remove_host_vertex("ghost")
+
+    def test_remove_host_edge_drops_kept_spanner_edge_first(self):
+        g = complete_graph(5)
+        spanner = g.copy()
+        verifier = IncrementalFT2Verifier(g, 1, spanner=spanner)
+        assert verifier.is_valid()
+        verifier.remove_host_edge(0, 1)
+        assert not verifier.has_edge(0, 1)
+        assert not verifier.has_host_edge(0, 1)
+        # mirrors agree with the static recomputation
+        spanner.remove_edge(0, 1)
+        host = g.copy()
+        host.remove_edge(0, 1)
+        assert set(verifier.unsatisfied()) == set(
+            unsatisfied_edges(spanner, host, 1)
         )

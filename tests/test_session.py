@@ -157,6 +157,7 @@ class TestLegacyIdentity:
             "theorem21", "theorem21-edge", "theorem21-adaptive", "clpr09",
             "ft2-approx", "dk10-baseline", "distributed-ft",
             "distributed-ft2",
+            "ft2-stream",  # exercised by tests/test_serve.py
         }
         assert set(Session.algorithms()) == covered
 

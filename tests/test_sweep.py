@@ -560,3 +560,145 @@ class TestAdaptiveRegistration:
         (a,) = run_sweep(plan, workers=1)
         (b,) = run_sweep(clone, workers=1)
         assert a.to_dict() == b.to_dict()
+
+
+class TestCrashSafeShardReports:
+    """save_shard_report is atomic: a shard file is absent or complete."""
+
+    def make_envelope(self, plan):
+        return run_shard(plan.resolve_seeds(0).shard(0, 2))
+
+    def test_crash_before_rename_leaves_nothing(
+        self, plan, tmp_path, monkeypatch
+    ):
+        envelope = self.make_envelope(plan)
+        reports_dir = str(tmp_path / "rp")
+
+        def killed(src, dst):
+            raise OSError("killed between write and rename")
+
+        monkeypatch.setattr(os, "replace", killed)
+        with pytest.raises(OSError, match="killed"):
+            save_shard_report(envelope, reports_dir)
+        # neither a partial shard-<i>.json nor leftover temp garbage
+        assert os.listdir(reports_dir) == []
+
+    def test_unserializable_envelope_leaves_nothing(self, plan, tmp_path):
+        envelope = self.make_envelope(plan)
+        envelope["reports"] = object()  # not JSON-able
+        reports_dir = str(tmp_path / "rp")
+        with pytest.raises(TypeError):
+            save_shard_report(envelope, reports_dir)
+        assert not os.path.exists(
+            os.path.join(reports_dir, "shard-0.json")
+        )
+
+    def test_successful_save_is_complete_and_canonical(self, plan, tmp_path):
+        envelope = self.make_envelope(plan)
+        reports_dir = str(tmp_path / "rp")
+        path = save_shard_report(envelope, reports_dir)
+        assert os.listdir(reports_dir) == ["shard-0.json"]
+        assert load_shard_report(path) == json.loads(
+            json.dumps(envelope)  # round-trip through JSON types
+        )
+        assert envelope["attempts"] == 1
+
+    def test_temp_names_never_match_the_merge_glob(self, plan, tmp_path):
+        """A temp file surviving a hard kill (no cleanup ran) must be
+        invisible to `repro merge`'s shard-*.json discovery."""
+        import glob
+
+        envelope = self.make_envelope(plan)
+        reports_dir = str(tmp_path / "rp")
+        save_shard_report(envelope, reports_dir)
+        stray = os.path.join(reports_dir, "shard-0.json.a1b2c3.tmp")
+        with open(stray, "w") as handle:
+            handle.write("{ truncated")
+        found = glob.glob(os.path.join(reports_dir, "shard-*.json"))
+        assert [os.path.basename(p) for p in found] == ["shard-0.json"]
+
+
+class _FlakyFuture:
+    def __init__(self, fn, args, fail):
+        self._fn = fn
+        self._args = args
+        self._fail = fail
+
+    def result(self):
+        if self._fail:
+            raise RuntimeError("worker process died")
+        return self._fn(*self._args)
+
+
+def _flaky_pool(fail_indices):
+    """A ProcessPoolExecutor stand-in whose chosen submissions die."""
+
+    class _FakePool:
+        def __init__(self, *args, **kwargs):
+            self._submitted = 0
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args):
+            fail = self._submitted in fail_indices
+            self._submitted += 1
+            return _FlakyFuture(fn, args, fail)
+
+    return _FakePool
+
+
+class TestWorkerCrashResilience:
+    """run_sweep retries a dead shard in-process, once, deterministically."""
+
+    def test_dead_worker_is_retried_in_process(self, plan, monkeypatch):
+        import repro.sweep as sweep_module
+
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _flaky_pool({1})
+        )
+        reports, envelopes = run_sweep(
+            plan, workers=3, seed=4, with_envelopes=True
+        )
+        assert [env["attempts"] for env in envelopes] == [1, 2, 1]
+        # the retried sweep is byte-identical to the sequential one
+        sequential = run_sweep(plan, workers=1, seed=4)
+        assert report_docs(reports) == report_docs(sequential)
+
+    def test_retried_envelopes_persist_and_merge(
+        self, plan, tmp_path, monkeypatch
+    ):
+        import repro.sweep as sweep_module
+
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _flaky_pool({0, 2})
+        )
+        reports_dir = str(tmp_path / "rp")
+        run_sweep(plan, workers=3, seed=4, reports_dir=reports_dir)
+        envelopes = [
+            load_shard_report(os.path.join(reports_dir, name))
+            for name in sorted(os.listdir(reports_dir))
+        ]
+        assert [env["attempts"] for env in envelopes] == [2, 1, 2]
+        merged = merge_shard_reports(envelopes)
+        assert report_docs(merged) == report_docs(
+            run_sweep(plan, workers=1, seed=4)
+        )
+
+    def test_twice_failed_shard_raises_sweep_error(self, plan, monkeypatch):
+        import repro.sweep as sweep_module
+        from repro.errors import SweepError
+
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _flaky_pool({0, 1, 2})
+        )
+
+        def still_dead(doc, include_spanner):
+            raise RuntimeError("retry also died")
+
+        monkeypatch.setattr(sweep_module, "_run_shard_worker", still_dead)
+        with pytest.raises(SweepError, match=r"shard 0/3 .* failed twice"):
+            run_sweep(plan, workers=3, seed=4)
