@@ -64,6 +64,12 @@ from .serve import (
     SpannerService,
     WorkloadGenerator,
 )
+from .sched import (
+    init_scheduler_dir,
+    run_scheduled_sweep,
+    run_worker,
+    scheduler_status,
+)
 from .session import Session
 from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
 from .spec import BuildReport, FaultModel, SpannerSpec
@@ -112,13 +118,17 @@ __all__ = [
     "fault_tolerant_spanner_until_valid",
     "get_algorithm",
     "greedy_spanner",
+    "init_scheduler_dir",
     "is_fault_tolerant_spanner",
     "is_ft_2spanner",
     "moser_tardos_rounding",
     "register_algorithm",
+    "run_scheduled_sweep",
     "run_sweep",
+    "run_worker",
     "sample_padded_decomposition",
     "sampled_fault_check",
+    "scheduler_status",
     "solve_ft2_lp",
     "thorup_zwick_spanner",
     "__version__",

@@ -14,9 +14,15 @@ Commands:
   plan JSON across ``--workers`` processes, run one ``--shard i/of``
   (persisting its envelope for a later ``merge``), ``--emit`` a plan
   from a parameter grid (refusing points the registry says an algorithm
-  cannot serve), or print the ``--coverage`` matrix;
-* ``merge`` — recombine persisted shard envelopes into the sequential
-  path's report list (byte-identical for the same plan and seeds);
+  cannot serve), print the ``--coverage`` matrix, drive a fault-tolerant
+  ``--scheduler DIR`` work queue (:mod:`repro.sched`: leases,
+  heartbeats, crash recovery, resumable across invocations), or report
+  a scheduler's ``--status`` including its quarantine ledger;
+* ``sweep-worker`` — join a scheduled sweep from any machine sharing
+  the scheduler directory, claiming shards until the sweep finishes;
+* ``merge`` — recombine persisted shard envelopes (or a whole scheduler
+  directory) into the sequential path's report list (byte-identical for
+  the same plan and seeds);
 * ``workload`` — generate a seeded operation stream (reads + mutations,
   optional chaos bursts) for ``serve`` (:mod:`repro.serve.workload`);
 * ``serve`` — replay a workload JSON against a maintained FT 2-spanner
@@ -63,6 +69,14 @@ from .graph import (
 )
 from .analysis.experiments import merge_shard_reports
 from .registry import describe_algorithms
+from .sched import (
+    init_scheduler_dir,
+    is_scheduler_dir,
+    run_scheduled_sweep,
+    run_worker,
+    scheduler_envelope_paths,
+    scheduler_status,
+)
 from .session import Session
 from .spec import BuildReport, FaultModel, SpannerSpec
 from .sweep import (
@@ -203,6 +217,54 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="drop unsupported grid points instead of refusing")
     sweep.add_argument("--coverage", action="store_true",
                        help="print the registry's coverage matrix and exit")
+    sweep.add_argument(
+        "--scheduler", default=None, metavar="DIR",
+        help="fault-tolerant work-queue directory (any shared filesystem): "
+             "initialize it from the plan (idempotent) and drive it with "
+             "--workers local worker processes; more workers can join from "
+             "other machines via `repro sweep-worker DIR`. --workers 0 "
+             "initializes without running",
+    )
+    sweep.add_argument(
+        "--status", default=None, metavar="DIR",
+        help="report a scheduler directory's progress (per-shard states, "
+             "retries, quarantine ledger) and exit; 3 when degraded",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for --scheduler initialization "
+             "(default: a worker-friendly count derived from the plan)",
+    )
+    sweep.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="S",
+        help="scheduler lease TTL: a worker silent this long is presumed "
+             "dead and its shard reclaimed (default 30)",
+    )
+    sweep.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="scheduler attempts per shard before quarantine (default 3)",
+    )
+    sweep.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="kill any shard running longer than this many wall-clock "
+             "seconds and retry it once (also REPRO_SWEEP_SHARD_TIMEOUT_S)",
+    )
+
+    sweep_worker = sub.add_parser(
+        "sweep-worker", parents=[common],
+        help="join a scheduled sweep: claim shards from a scheduler "
+             "directory until the sweep completes",
+    )
+    sweep_worker.add_argument(
+        "scheduler", help="scheduler directory (see `sweep --scheduler`)"
+    )
+    sweep_worker.add_argument("--worker-id", default=None,
+                              help="stable worker identity (default: "
+                                   "host-pid-nonce)")
+    sweep_worker.add_argument("--max-shards", type=int, default=None,
+                              help="claim at most this many shards, then exit")
+    sweep_worker.add_argument("--poll", type=float, default=None, metavar="S",
+                              help="idle poll interval (default: TTL/4)")
 
     merge = sub.add_parser(
         "merge", parents=[common],
@@ -210,7 +272,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument(
         "shards", nargs="+",
-        help="shard-<i>.json envelope files and/or reports directories",
+        help="shard-<i>.json envelope files, reports directories, and/or "
+             "scheduler directories (refused while shards are quarantined)",
     )
     merge.add_argument("--out", default=None,
                        help="also write the merged result JSON here")
@@ -576,6 +639,47 @@ def _sweep_rows(reports) -> list:
 _SWEEP_HEADER = ["#", "algorithm", "k", "faults", "r", "seed", "size", "method"]
 
 
+def _status_rows(status: dict) -> list:
+    rows = [["plan", status["plan"]],
+            ["shards", status["of"]],
+            ["specs", status["plan_size"]]]
+    rows += [[state, count] for state, count in sorted(
+        status["counts"].items()
+    )]
+    rows.append(["complete", status["complete"]])
+    rows.append(["degraded", status["degraded"]])
+    return rows
+
+
+def _print_scheduler_status(status: dict, json_mode: bool) -> None:
+    if json_mode:
+        _print_json(status)
+        return
+    print(render_table(
+        ["quantity", "value"], _status_rows(status),
+        title=f"scheduler {status['name']}",
+    ))
+    for shard in status["shards"]:
+        if shard["state"] in ("done", "pending"):
+            continue
+        extra = ""
+        if "worker" in shard:
+            extra = f" worker={shard['worker']}"
+        if "lease_age_s" in shard:
+            extra += f" lease_age={shard['lease_age_s']:.1f}s"
+        print(
+            f"  shard {shard['shard']}: {shard['state']} "
+            f"(attempts={shard.get('attempts', 0)}){extra}"
+        )
+    for entry in status["quarantined"]:
+        last = entry["attempts"][-1] if entry["attempts"] else {}
+        print(
+            f"  quarantined shard {entry['shard']} after "
+            f"{len(entry['attempts'])} attempts: "
+            f"{last.get('error') or last.get('reason')}"
+        )
+
+
 def _cmd_sweep(args) -> int:
     # Refuse flag combinations that would silently do less than asked.
     if (args.emit or args.coverage) and args.plan is not None:
@@ -587,6 +691,26 @@ def _cmd_sweep(args) -> int:
         raise ReproError(
             "--shard runs one shard in this process; --workers does not "
             "apply (run the full plan with --workers, or shards without it)"
+        )
+    if args.status is not None:
+        if args.plan is not None or args.scheduler is not None:
+            raise ReproError(
+                "sweep --status reads only a scheduler directory; drop the "
+                "plan argument / --scheduler"
+            )
+        status = scheduler_status(args.status)
+        _print_scheduler_status(status, args.json)
+        return 3 if status["degraded"] else 0
+    if args.scheduler is not None and args.shard is not None:
+        raise ReproError(
+            "--shard and --scheduler are different execution models: the "
+            "scheduler assigns shards itself (join it with `repro "
+            "sweep-worker` instead)"
+        )
+    if args.workers < 0 or (args.workers == 0 and args.scheduler is None):
+        raise ReproError(
+            "--workers must be >= 1 (0 is only meaningful with "
+            "--scheduler: initialize without running)"
         )
     if args.coverage:
         rows = coverage_matrix()
@@ -661,11 +785,53 @@ def _cmd_sweep(args) -> int:
                 f"{len(envelope['reports'])} builds{where}"
             )
         return 0
+    if args.scheduler is not None:
+        manifest, plan = init_scheduler_dir(
+            args.scheduler, plan, of=args.shards, seed=_seed_of(args),
+            lease_ttl_s=args.lease_ttl, max_attempts=args.max_attempts,
+            shard_timeout_s=args.shard_timeout,
+            include_spanner=args.include_spanner,
+        )
+        if args.workers == 0:
+            doc = {
+                "scheduler": args.scheduler,
+                "plan": manifest.plan_fingerprint,
+                "shards": manifest.of,
+                "initialized": True,
+            }
+            if args.json:
+                _print_json(doc)
+            else:
+                print(
+                    f"initialized scheduler {args.scheduler}: plan "
+                    f"{manifest.plan_fingerprint}, {manifest.of} shards "
+                    f"(join with `repro sweep-worker {args.scheduler}`)"
+                )
+            return 0
+        reports, status = run_scheduled_sweep(
+            args.scheduler, workers=args.workers
+        )
+        if reports is None:
+            # Degraded: quarantined shards (ledger below) or shards left
+            # open. The directory stays resumable — rerun, or join more
+            # workers — so this exits distinctly from flag errors.
+            _print_scheduler_status(status, args.json)
+            return 3
+        if args.json:
+            _print_json(_sweep_result_doc(manifest.plan_fingerprint, reports))
+        else:
+            print(render_table(
+                _SWEEP_HEADER, _sweep_rows(reports),
+                title=f"sweep {plan.name}: {len(reports)} builds, "
+                      f"scheduled over {manifest.of} shards",
+            ))
+        return 0
     reports = run_sweep(
         plan,
         workers=args.workers,
         reports_dir=args.reports_dir,
         include_spanner=args.include_spanner,
+        shard_timeout_s=args.shard_timeout,
     )
     if args.json:
         _print_json(_sweep_result_doc(plan.fingerprint(), reports))
@@ -678,16 +844,48 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_sweep_worker(args) -> int:
+    summary = run_worker(
+        args.scheduler,
+        worker_id=args.worker_id,
+        max_shards=args.max_shards,
+        poll_interval_s=args.poll,
+    )
+    if args.json:
+        _print_json(summary)
+    else:
+        print(
+            f"worker {summary['worker']}: claimed {summary['claimed']} "
+            f"shard(s), completed {summary['completed']}, failed "
+            f"{summary['failed']}, reclaimed {summary['reclaimed']} "
+            f"expired lease(s)"
+        )
+        counts = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(summary["counts"].items()) if count
+        )
+        print(f"scheduler now: {counts or 'empty'}")
+    return 3 if summary["degraded"] else 0
+
+
 def _cmd_merge(args) -> int:
     paths: List[str] = []
     for entry in args.shards:
         if os.path.isdir(entry):
+            if is_scheduler_dir(entry):
+                # Full-coverage discipline: raises while any shard is
+                # quarantined or unfinished, so a degraded sweep can
+                # never silently merge into a "complete" result.
+                paths.extend(scheduler_envelope_paths(entry))
+                continue
             # Lexicographic order is enough: merge_shard_reports orders
             # reports by their parent-plan indices, not file order.
             found = sorted(glob.glob(os.path.join(entry, "shard-*.json")))
             if not found:
                 raise ReproError(f"no shard-*.json envelopes under {entry}")
             paths.extend(found)
+        elif not os.path.exists(entry):
+            raise ReproError(f"merge input {entry!r} does not exist")
         else:
             paths.append(entry)
     envelopes = [load_shard_report(path) for path in paths]
@@ -889,6 +1087,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ft2-approx": _cmd_ft2_approx,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "sweep-worker": _cmd_sweep_worker,
         "merge": _cmd_merge,
         "workload": _cmd_workload,
         "serve": _cmd_serve,

@@ -105,11 +105,38 @@ class UnknownAlgorithm(RegistryError):
 class SweepError(ReproError):
     """A sharded sweep failed in a way naming the shard and the cause.
 
-    Raised by :func:`repro.sweep.run_sweep` when a shard's worker dies
-    twice (once in the pool, once on the in-process retry) — instead of
-    surfacing a bare ``BrokenProcessPool`` that says nothing about which
-    shard or spec is at fault.
+    Raised by :func:`repro.sweep.run_sweep` when a shard fails twice
+    (once in its worker process, once on the retry) or when a persisted
+    shard envelope is unreadable — instead of surfacing a bare
+    ``BrokenProcessPool`` or ``JSONDecodeError`` that says nothing about
+    which shard, spec, or file is at fault.
     """
+
+
+class LeaseError(SweepError):
+    """A scheduler lease operation failed (claim race, missing or foreign
+    lease, malformed lease file).
+
+    Raised by :mod:`repro.sched.lease`; ordinary claim contention is *not*
+    an error (claims return ``None`` when another worker holds the shard) —
+    this class marks protocol violations such as releasing a lease the
+    caller does not own.
+    """
+
+
+class ShardQuarantined(SweepError):
+    """One or more shards of a scheduled sweep are quarantined.
+
+    A shard lands in the scheduler's ``failed/`` ledger after
+    ``max_attempts`` failures (recorded across workers, with the captured
+    exceptions); merging such a sweep raises this error naming every
+    quarantined shard instead of reporting partial coverage as missing
+    indices. The ledger documents ride on :attr:`ledger`.
+    """
+
+    def __init__(self, message: str, ledger=()) -> None:
+        super().__init__(message)
+        self.ledger = tuple(ledger)
 
 
 class DistributedError(ReproError):

@@ -1,0 +1,374 @@
+"""The scheduler worker: claim, execute, heartbeat, release — survivably.
+
+:func:`run_worker` is what both ``repro sweep --scheduler DIR`` (N local
+workers) and ``repro sweep-worker DIR`` (join from any machine sharing
+the directory) execute. Each claimed shard runs in a **child process**
+(spawn start method, like every sweep worker in this library) while the
+worker parent renews the lease heartbeat — so a shard that *hangs* is
+distinguishable from one that merely takes long: the parent keeps the
+lease fresh, and the manifest's ``shard_timeout_s`` (not the TTL) is what
+kills a runaway child. A worker that dies entirely — SIGKILL, OOM, power
+loss — stops heartbeating, its lease expires after ``lease_ttl_s``, and
+any surviving worker reclaims the shard: re-execution cost is bounded by
+the shard, never the sweep.
+
+The shard child writes its envelope with the same atomic
+temp-file-then-rename discipline as every sweep envelope, *then* the
+parent releases the lease — so the crash window between the two leaves a
+done shard with a stale lease, which reclamation recognizes (envelope
+present ⇒ just clean up, no retry). Because ``run_shard`` is a pure
+function of the resolved plan, a retried shard produces a byte-identical
+envelope and the merged sweep is byte-identical to the fault-free run.
+
+Fault injection for tests and CI: set ``REPRO_SCHED_TEST_HOLD_S`` to
+make a worker sleep *between claiming a lease and starting the shard
+child* — SIGKILLing it inside that window is exactly the crash the
+reclamation path exists for, deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import LeaseError
+from ..spec import BuildReport
+from ..sweep import run_shard, save_shard_report
+from .lease import claim_lease, default_worker_id, lease_age_s, read_lease
+from .manifest import Manifest, atomic_write_json
+from .scheduler import (
+    attempts_dir,
+    envelope_path,
+    leases_dir,
+    load_scheduler,
+    quarantine_if_exhausted,
+    quarantine_path,
+    reclaim_expired_leases,
+    record_attempt,
+    reports_dir,
+    scheduler_envelope_paths,
+    scheduler_status,
+    shard_attempts,
+    tmp_dir,
+)
+
+#: Fault-injection knob (seconds): hold between lease claim and child
+#: start, opening a deterministic crash window for tests and CI.
+TEST_HOLD_ENV = "REPRO_SCHED_TEST_HOLD_S"
+
+
+def _shard_child(sched_dir: str, index: int, attempt: int, error_path: str) -> None:
+    """Child-process entry: run one shard and persist its envelope.
+
+    Failures are captured into ``error_path`` (inside the scheduler's
+    ``tmp/``, invisible to merges) so the parent can quote the real
+    exception in the attempt record instead of a bare exit code.
+    """
+    try:
+        manifest, plan = load_scheduler(sched_dir)
+        shard = plan.shard(index, manifest.of)
+        envelope = run_shard(
+            shard, include_spanner=manifest.include_spanner
+        )
+        envelope["attempts"] = attempt
+        save_shard_report(envelope, reports_dir(sched_dir))
+    except BaseException as exc:
+        atomic_write_json(
+            {
+                "shard": index,
+                "attempt": attempt,
+                "error": repr(exc),
+                "traceback": traceback.format_exc(),
+            },
+            error_path,
+        )
+        sys.exit(1)
+
+
+def _read_error(error_path: str) -> Optional[str]:
+    try:
+        import json
+
+        with open(error_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        return doc.get("error")
+    except (OSError, ValueError):
+        return None
+    finally:
+        try:
+            os.unlink(error_path)
+        except OSError:
+            pass
+
+
+def _shard_states(
+    sched_dir: str, manifest: Manifest
+) -> Dict[int, Dict[str, Any]]:
+    """A light per-shard scan (no plan load) for the claim loop."""
+    states: Dict[int, Dict[str, Any]] = {}
+    from .lease import lease_path
+
+    for index in range(manifest.of):
+        if os.path.exists(quarantine_path(sched_dir, index)):
+            states[index] = {"state": "quarantined"}
+            continue
+        if os.path.exists(envelope_path(sched_dir, index)):
+            states[index] = {"state": "done"}
+            continue
+        path = lease_path(leases_dir(sched_dir), index)
+        record = read_lease(path)
+        if record is not None:
+            states[index] = {
+                "state": "claimed",
+                "age": lease_age_s(path, record),
+            }
+            continue
+        attempts = shard_attempts(sched_dir, index)
+        if attempts:
+            last = attempts[-1]
+            recorded = last.get("recorded_at", 0.0)
+            ready_at = (
+                float(recorded) if isinstance(recorded, (int, float)) else 0.0
+            ) + manifest.backoff_s(len(attempts))
+            states[index] = {
+                "state": "retrying",
+                "attempts": len(attempts),
+                "ready_at": ready_at,
+                "last_worker": last.get("worker"),
+            }
+        else:
+            states[index] = {"state": "pending"}
+    return states
+
+
+def _pick_claimable(
+    states: Dict[int, Dict[str, Any]], worker: str, now: float
+) -> Optional[Tuple[int, int]]:
+    """Choose ``(index, attempt_number)`` to claim next, or ``None``.
+
+    Pending shards first (plan order). Retryable shards whose backoff
+    elapsed come next, preferring ones last failed by a *different*
+    worker — so with several workers alive, a poison shard's attempts
+    spread across distinct machines before quarantine concludes it is
+    the shard, not the worker.
+    """
+    for index in sorted(states):
+        if states[index]["state"] == "pending":
+            return index, 1
+    retryable = [
+        (info.get("last_worker") == worker, index)
+        for index, info in states.items()
+        if info["state"] == "retrying" and now >= info["ready_at"]
+    ]
+    if retryable:
+        retryable.sort()
+        _, index = retryable[0]
+        return index, states[index]["attempts"] + 1
+    return None
+
+
+def _execute_claimed_shard(
+    sched_dir: str,
+    manifest: Manifest,
+    lease,
+    worker: str,
+) -> bool:
+    """Run one claimed shard in a heartbeated child; True on success."""
+    index = lease.index
+    error_path = os.path.join(
+        tmp_dir(sched_dir), f"shard-{index}.{os.getpid()}.error.json"
+    )
+    context = multiprocessing.get_context("spawn")
+    child = context.Process(
+        target=_shard_child,
+        args=(sched_dir, index, lease.attempt, error_path),
+    )
+    child.start()
+    heartbeat_every = max(0.05, manifest.lease_ttl_s / 3.0)
+    deadline = (
+        time.monotonic() + manifest.shard_timeout_s
+        if manifest.shard_timeout_s is not None
+        else None
+    )
+    timed_out = False
+    while True:
+        wait = heartbeat_every
+        if deadline is not None:
+            wait = min(wait, max(0.0, deadline - time.monotonic()))
+        child.join(wait)
+        if not child.is_alive():
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            timed_out = True
+            child.terminate()
+            child.join(2.0)
+            if child.is_alive():  # pragma: no cover - terminate sufficed
+                child.kill()
+                child.join()
+            break
+        lease.renew()
+    done = child.exitcode == 0 and os.path.exists(
+        envelope_path(sched_dir, index)
+    )
+    if done:
+        try:
+            lease.release()
+        except LeaseError:
+            # The lease expired mid-run and was reclaimed; the envelope
+            # is in place, so the shard still counts as done (reclaimers
+            # with an envelope in view clean up rather than retry).
+            pass
+        return True
+    error = _read_error(error_path)
+    if timed_out:
+        reason = (
+            f"shard timed out after {manifest.shard_timeout_s}s wall clock "
+            "(child killed)"
+        )
+    else:
+        reason = f"shard child exited with code {child.exitcode}"
+    tombstone = os.path.join(
+        attempts_dir(sched_dir),
+        f"shard-{index}.attempt-{lease.attempt}.json",
+    )
+    try:
+        os.replace(lease.path, tombstone)
+    except FileNotFoundError:
+        # Reclaimed from under us (e.g. the hold knob outlived the TTL);
+        # whoever stole the lease wrote the attempt record already.
+        return False
+    record_attempt(
+        sched_dir, index, lease.attempt, worker=worker,
+        reason=reason, error=error, stolen_lease=lease.to_dict(),
+    )
+    quarantine_if_exhausted(sched_dir, manifest, index)
+    return False
+
+
+def run_worker(
+    sched_dir: str,
+    worker_id: Optional[str] = None,
+    max_shards: Optional[int] = None,
+    poll_interval_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Work a scheduler directory until the sweep finishes (or a cap).
+
+    The loop: reclaim expired leases, claim the next available shard,
+    execute it in a heartbeated child, repeat. With nothing claimable the
+    worker idles on ``poll_interval_s`` — it does *not* exit while other
+    workers still hold live claims, because one of them dying would
+    otherwise strand the sweep with nobody left to reclaim. Returns a
+    summary: shards completed / failed here, leases reclaimed, and the
+    final directory state.
+    """
+    manifest, _plan = load_scheduler(sched_dir)
+    worker = worker_id if worker_id is not None else default_worker_id()
+    if poll_interval_s is None:
+        poll_interval_s = min(1.0, max(0.05, manifest.lease_ttl_s / 4.0))
+    hold_s = float(os.environ.get(TEST_HOLD_ENV, "0") or "0")
+    completed = 0
+    failed = 0
+    reclaimed = 0
+    claimed = 0
+    while True:
+        reclaimed += len(reclaim_expired_leases(sched_dir, manifest, worker))
+        states = _shard_states(sched_dir, manifest)
+        if all(
+            info["state"] in ("done", "quarantined")
+            for info in states.values()
+        ):
+            break
+        if max_shards is not None and claimed >= max_shards:
+            break
+        pick = _pick_claimable(states, worker, time.time())
+        if pick is None:
+            # Everything is claimed elsewhere or backing off: wait for
+            # a heartbeat to lapse or a backoff window to close.
+            time.sleep(poll_interval_s)
+            continue
+        index, attempt = pick
+        lease = claim_lease(
+            leases_dir(sched_dir), index, worker,
+            ttl_s=manifest.lease_ttl_s, attempt=attempt,
+        )
+        if lease is None:
+            continue  # lost the O_EXCL race; rescan
+        claimed += 1
+        if hold_s > 0:
+            time.sleep(hold_s)  # fault-injection crash window (tests/CI)
+        if _execute_claimed_shard(sched_dir, manifest, lease, worker):
+            completed += 1
+        else:
+            failed += 1
+    status = scheduler_status(sched_dir)
+    return {
+        "worker": worker,
+        "claimed": claimed,
+        "completed": completed,
+        "failed": failed,
+        "reclaimed": reclaimed,
+        "complete": status["complete"],
+        "degraded": status["degraded"],
+        "counts": status["counts"],
+    }
+
+
+def _worker_entry(sched_dir: str, worker_id: str) -> None:
+    """Spawn target for :func:`run_scheduled_sweep`'s local workers."""
+    run_worker(sched_dir, worker_id=worker_id)
+
+
+def run_scheduled_sweep(
+    sched_dir: str,
+    workers: int,
+) -> Tuple[Optional[List[BuildReport]], Dict[str, Any]]:
+    """Drive an initialized scheduler directory to completion on one host.
+
+    Spawns ``workers`` local worker processes over the shared directory
+    (more can join from other machines via ``repro sweep-worker`` at any
+    time), waits for them, and runs one in-process recovery pass if they
+    all died before the sweep finished — so a single surviving driver
+    still completes or quarantines every shard. Returns
+    ``(reports, status)``: merged reports in plan order when the sweep is
+    complete, or ``None`` with the status document (quarantine ledger
+    included) when it finished degraded.
+    """
+    from ..analysis.experiments import merge_shard_reports
+    from ..errors import InvalidSpec
+
+    if workers < 1:
+        raise InvalidSpec(f"scheduled sweeps need workers >= 1, got {workers}")
+    load_scheduler(sched_dir)  # fail fast before spawning anything
+    base = default_worker_id()
+    context = multiprocessing.get_context("spawn")
+    procs = [
+        context.Process(
+            target=_worker_entry, args=(sched_dir, f"{base}-w{i}")
+        )
+        for i in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    status = scheduler_status(sched_dir)
+    if not status["finished"]:
+        # Every local worker died (or was capped) with shards still open:
+        # finish the job in-process rather than stranding the directory.
+        run_worker(sched_dir, worker_id=f"{base}-recovery")
+        status = scheduler_status(sched_dir)
+    if status["degraded"] or not status["complete"]:
+        return None, status
+    reports = merge_shard_reports(scheduler_envelope_paths(sched_dir))
+    return reports, status
+
+
+__all__ = [
+    "TEST_HOLD_ENV",
+    "run_scheduled_sweep",
+    "run_worker",
+]

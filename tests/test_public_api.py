@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.graph",
     "repro.lp",
     "repro.registry",
+    "repro.sched",
     "repro.session",
     "repro.spanners",
     "repro.spec",

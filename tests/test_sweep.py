@@ -618,52 +618,23 @@ class TestCrashSafeShardReports:
         assert [os.path.basename(p) for p in found] == ["shard-0.json"]
 
 
-class _FlakyFuture:
-    def __init__(self, fn, args, fail):
-        self._fn = fn
-        self._args = args
-        self._fail = fail
-
-    def result(self):
-        if self._fail:
-            raise RuntimeError("worker process died")
-        return self._fn(*self._args)
-
-
-def _flaky_pool(fail_indices):
-    """A ProcessPoolExecutor stand-in whose chosen submissions die."""
-
-    class _FakePool:
-        def __init__(self, *args, **kwargs):
-            self._submitted = 0
-
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def submit(self, fn, *args):
-            fail = self._submitted in fail_indices
-            self._submitted += 1
-            return _FlakyFuture(fn, args, fail)
-
-    return _FakePool
-
-
 class TestWorkerCrashResilience:
-    """run_sweep retries a dead shard in-process, once, deterministically."""
+    """run_sweep survives crashed workers — real processes, real kills.
+
+    Fault injection is child-side: the spawned shard worker reads
+    ``REPRO_SWEEP_TEST_CRASH_SHARDS`` on its *first* attempt only, so a
+    retried shard runs clean and the recovered sweep stays
+    byte-identical to the sequential one.
+    """
 
     def test_dead_worker_is_retried_in_process(self, plan, monkeypatch):
-        import repro.sweep as sweep_module
-
-        monkeypatch.setattr(
-            sweep_module, "ProcessPoolExecutor", _flaky_pool({1})
-        )
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_SHARDS", "1")
         reports, envelopes = run_sweep(
             plan, workers=3, seed=4, with_envelopes=True
         )
         assert [env["attempts"] for env in envelopes] == [1, 2, 1]
+        assert [env["timed_out"] for env in envelopes] == [False] * 3
+        monkeypatch.delenv("REPRO_SWEEP_TEST_CRASH_SHARDS")
         # the retried sweep is byte-identical to the sequential one
         sequential = run_sweep(plan, workers=1, seed=4)
         assert report_docs(reports) == report_docs(sequential)
@@ -671,11 +642,7 @@ class TestWorkerCrashResilience:
     def test_retried_envelopes_persist_and_merge(
         self, plan, tmp_path, monkeypatch
     ):
-        import repro.sweep as sweep_module
-
-        monkeypatch.setattr(
-            sweep_module, "ProcessPoolExecutor", _flaky_pool({0, 2})
-        )
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_SHARDS", "0,2")
         reports_dir = str(tmp_path / "rp")
         run_sweep(plan, workers=3, seed=4, reports_dir=reports_dir)
         envelopes = [
@@ -684,6 +651,7 @@ class TestWorkerCrashResilience:
         ]
         assert [env["attempts"] for env in envelopes] == [2, 1, 2]
         merged = merge_shard_reports(envelopes)
+        monkeypatch.delenv("REPRO_SWEEP_TEST_CRASH_SHARDS")
         assert report_docs(merged) == report_docs(
             run_sweep(plan, workers=1, seed=4)
         )
@@ -692,9 +660,7 @@ class TestWorkerCrashResilience:
         import repro.sweep as sweep_module
         from repro.errors import SweepError
 
-        monkeypatch.setattr(
-            sweep_module, "ProcessPoolExecutor", _flaky_pool({0, 1, 2})
-        )
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH_SHARDS", "0,1,2")
 
         def still_dead(doc, include_spanner):
             raise RuntimeError("retry also died")
@@ -702,3 +668,58 @@ class TestWorkerCrashResilience:
         monkeypatch.setattr(sweep_module, "_run_shard_worker", still_dead)
         with pytest.raises(SweepError, match=r"shard 0/3 .* failed twice"):
             run_sweep(plan, workers=3, seed=4)
+
+
+class TestShardTimeout:
+    """A hung worker is killed at the deadline and retried out of process."""
+
+    def test_hung_worker_is_killed_and_retried(self, plan, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_HANG_SHARDS", "1")
+        reports, envelopes = run_sweep(
+            plan, workers=2, seed=4, with_envelopes=True, shard_timeout_s=12.0
+        )
+        assert [env["attempts"] for env in envelopes] == [1, 2]
+        assert [env["timed_out"] for env in envelopes] == [False, True]
+        monkeypatch.delenv("REPRO_SWEEP_TEST_HANG_SHARDS")
+        sequential = run_sweep(plan, workers=1, seed=4)
+        assert report_docs(reports) == report_docs(sequential)
+
+    def test_timeout_resolution_and_validation(self, monkeypatch):
+        from repro.sweep import resolve_shard_timeout
+
+        monkeypatch.delenv("REPRO_SWEEP_SHARD_TIMEOUT_S", raising=False)
+        assert resolve_shard_timeout(None) is None
+        assert resolve_shard_timeout(2.5) == 2.5
+        with pytest.raises(InvalidSpec, match="positive"):
+            resolve_shard_timeout(-1.0)
+        monkeypatch.setenv("REPRO_SWEEP_SHARD_TIMEOUT_S", "7.5")
+        assert resolve_shard_timeout(None) == 7.5
+        assert resolve_shard_timeout(2.5) == 2.5  # argument wins
+        monkeypatch.setenv("REPRO_SWEEP_SHARD_TIMEOUT_S", "0")
+        with pytest.raises(InvalidSpec, match="REPRO_SWEEP_SHARD_TIMEOUT_S"):
+            resolve_shard_timeout(None)
+        monkeypatch.setenv("REPRO_SWEEP_SHARD_TIMEOUT_S", "nope")
+        with pytest.raises(InvalidSpec, match="REPRO_SWEEP_SHARD_TIMEOUT_S"):
+            resolve_shard_timeout(None)
+
+
+class TestCorruptEnvelope:
+    """Truncated shard JSON names the file, not just a parse offset."""
+
+    def test_truncated_envelope_names_the_file(self, tmp_path):
+        from repro.errors import SweepError
+
+        path = str(tmp_path / "shard-0.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-sweep-shard", "repor')
+        with pytest.raises(
+            SweepError, match=r"shard-0\.json.*truncated or corrupt"
+        ):
+            load_shard_report(path)
+
+    def test_wrong_format_tag_is_still_invalid_spec(self, tmp_path):
+        path = str(tmp_path / "shard-0.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "something-else"}, handle)
+        with pytest.raises(InvalidSpec, match="not a sweep-shard envelope"):
+            load_shard_report(path)
