@@ -1,0 +1,77 @@
+"""Host topologies — structured interconnects through the sweep driver.
+
+The host registry (:mod:`repro.hosts`) carries typed specs, not loaded
+graphs, so a plan over structured families stays a few hundred bytes and
+every worker rebuilds bit-identical hosts. This benchmark runs a greedy
+3-spanner over four families and checks the shape each one forces:
+
+* **Kautz K(d, D)** — every arc is the *unique* shortest path between
+  its endpoints, so dropping one costs a detour of >= 3 hops; the
+  spanner stays near-complete, keeping a strictly larger fraction than
+  any of the redundant fabrics below;
+* **DCell_1(n)** — the level-0 cells are cliques, full of 2-hop
+  bypasses a 3-spanner exploits;
+* **hypercube** — every edge sits on a 4-cycle (a 3-hop bypass), so
+  there is real slack despite the girth-4 lower bound;
+* **Watts–Strogatz** — ring-lattice triangles give 2-hop bypasses.
+
+Run with:  pytest benchmarks/bench_hosts.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro import HostSpec, SpannerSpec, SweepPlan, run_sweep
+from repro.analysis import print_table
+
+#: Worker processes for the sweep driver (reports are byte-identical at
+#: every worker count — the specs rebuild identical hosts per worker).
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
+FAMILIES = [
+    ("kautz", HostSpec("kautz", params={"d": 2, "diameter": 3})),
+    ("dcell", HostSpec("dcell", params={"n": 4, "level": 1})),
+    ("hypercube", HostSpec("hypercube", params={"dim": 5})),
+    (
+        "watts-strogatz",
+        HostSpec("watts-strogatz", params={"n": 32, "k": 4, "p": 0.1}, seed=3),
+    ),
+]
+
+
+def sweep():
+    specs = [
+        SpannerSpec("greedy", stretch=3, seed=1, graph=spec)
+        for _, spec in FAMILIES
+    ]
+    plan = SweepPlan.build(specs, name="hosts")
+    reports = run_sweep(plan, workers=WORKERS)
+    rows = []
+    for (name, spec), report in zip(FAMILIES, reports):
+        host = spec.materialize()
+        rows.append((name, host.num_vertices, host.num_edges, report.size))
+    return rows
+
+
+def test_hosts_structured_families(benchmark):
+    rows = run_once(benchmark, sweep)
+    print_table(
+        ["family", "n", "m", "greedy 3-spanner", "kept"],
+        [[name, n, m, size, f"{100.0 * size / m:.0f}%"]
+         for name, n, m, size in rows],
+        title=f"greedy 3-spanner across host families (workers={WORKERS})",
+    )
+    kept = {name: size / m for name, _, m, size in rows}
+    # Stretch 3 on a connected host: the spanner spans, never exceeds m.
+    for name, n, m, size in rows:
+        assert n - 1 <= size <= m
+    # Redundant fabrics (cliques / 4-cycles / triangles) must sparsify.
+    for name in ("dcell", "hypercube", "watts-strogatz"):
+        assert kept[name] < 1.0
+    # Kautz's unique-shortest-path wiring leaves the least slack: it
+    # keeps a strictly larger fraction than every redundant family.
+    assert all(kept["kautz"] > kept[name]
+               for name in ("dcell", "hypercube", "watts-strogatz"))

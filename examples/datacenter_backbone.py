@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Scenario: a sparse fault-tolerant backbone for a datacenter-style fabric.
+"""Scenario: a sparse fault-tolerant backbone for a DCell datacenter fabric.
 
 The motivating application of fault-tolerant spanners in the paper is
 distributed systems: keep a *sparse* overlay such that even after some
 machines fail, the overlay still approximates the surviving network's
 distances. This example:
 
-1. builds a two-tier "fabric" (racks as dense clusters, a random
-   inter-rack mesh — a stand-in for a real topology trace);
+1. materializes a real server-centric datacenter topology — DCell_1(7),
+   56 servers wired as 8 cliques of 7 plus one inter-cell link per
+   server pair of cells — from a typed :class:`repro.hosts.HostSpec`
+   (the same spec a sweep plan or another machine would rebuild
+   byte-identically);
 2. extracts an r-fault-tolerant 3-spanner backbone with the Theorem 2.1
    conversion;
 3. kills random machine sets and measures route-length inflation on the
@@ -20,45 +23,28 @@ Run:  python examples/datacenter_backbone.py
 from __future__ import annotations
 
 import math
-import random
 
 from repro import (
+    HostSpec,
     Session,
     SpannerSpec,
     fault_tolerant_spanner_until_valid,
 )
 from repro.analysis import print_table, sampled_stretch_profile
-from repro.graph import Graph
-
-
-def build_fabric(
-    racks: int, per_rack: int, inter_rack_degree: int, seed: int
-) -> Graph:
-    """A two-tier fabric: cliques per rack plus a random inter-rack mesh."""
-    rng = random.Random(seed)
-    g = Graph()
-    for rack in range(racks):
-        hosts = [(rack, i) for i in range(per_rack)]
-        g.add_vertices(hosts)
-        for i, a in enumerate(hosts):
-            for b in hosts[i + 1:]:
-                g.add_edge(a, b, 1.0)  # intra-rack hop
-    for rack in range(racks):
-        for _ in range(inter_rack_degree):
-            other = rng.randrange(racks)
-            if other == rack:
-                continue
-            a = (rack, rng.randrange(per_rack))
-            b = (other, rng.randrange(per_rack))
-            if a != b and not g.has_edge(a, b):
-                g.add_edge(a, b, 4.0)  # inter-rack link is slower
-    return g
 
 
 def main() -> None:
     r = 2
-    fabric = build_fabric(racks=6, per_rack=10, inter_rack_degree=5, seed=7)
-    print(f"fabric: n={fabric.num_vertices}, m={fabric.num_edges}")
+    # DCell_1(7): level-0 cells are K_7 "racks"; the level-1 wiring adds
+    # exactly one link between every pair of cells. The spec (not the
+    # graph) is the portable artifact — its fingerprint pins the host.
+    fabric_spec = HostSpec("dcell", params={"n": 7, "level": 1})
+    session = Session()
+    fabric = session.resolve_graph(SpannerSpec("greedy", graph=fabric_spec))
+    print(
+        f"fabric: DCell_1(7) [{fabric_spec.fingerprint()}] "
+        f"n={fabric.num_vertices}, m={fabric.num_edges}"
+    )
 
     # Adaptive mode: add oversampling iterations until a Monte Carlo
     # verifier accepts (exhaustive checking is exponential in r; at this
@@ -75,10 +61,11 @@ def main() -> None:
         batch=8,
         seed=8,
     )
-    # The no-fault-tolerance strawman goes through the typed front door
-    # (same fabric, so it reuses the CSR snapshot the adaptive loop built).
-    plain = Session().build(
-        SpannerSpec("greedy", stretch=3), graph=fabric
+    # The no-fault-tolerance strawman goes through the typed front door;
+    # binding the same HostSpec hits the session's per-fingerprint host
+    # cache, so both builds share one fabric instance and CSR snapshot.
+    plain = session.build(
+        SpannerSpec("greedy", stretch=3, graph=fabric_spec)
     ).spanner
 
     rows = []

@@ -48,8 +48,22 @@ from .distributed import (
     distributed_padded_decomposition,
     sample_padded_decomposition,
 )
-from .errors import InvalidSpec, ReproError, SpecError, UnknownAlgorithm
+from .errors import (
+    InvalidSpec,
+    ReproError,
+    SpecError,
+    UnknownAlgorithm,
+    UnknownHostGenerator,
+)
 from .graph import DiGraph, Graph
+from .hosts import (
+    HostInfo,
+    HostSpec,
+    available_host_generators,
+    describe_host_generators,
+    get_host_generator,
+    register_host_generator,
+)
 from .registry import (
     AlgorithmInfo,
     available_algorithms,
@@ -73,7 +87,13 @@ from .sched import (
 from .session import Session
 from .spanners import baswana_sen_spanner, greedy_spanner, thorup_zwick_spanner
 from .spec import BuildReport, FaultModel, SpannerSpec
-from .sweep import SweepPlan, coverage_matrix, emit_grid_plan, run_sweep
+from .sweep import (
+    SweepPlan,
+    coverage_matrix,
+    emit_grid_plan,
+    host_spec_key,
+    run_sweep,
+)
 from .two_spanner import (
     approximate_ft2_spanner,
     dk10_baseline,
@@ -91,6 +111,8 @@ __all__ = [
     "DiGraph",
     "FaultModel",
     "Graph",
+    "HostInfo",
+    "HostSpec",
     "InvalidSpec",
     "RepairPolicy",
     "ReproError",
@@ -101,13 +123,16 @@ __all__ = [
     "SpecError",
     "SweepPlan",
     "UnknownAlgorithm",
+    "UnknownHostGenerator",
     "WorkloadGenerator",
     "approximate_ft2_spanner",
     "available_algorithms",
+    "available_host_generators",
     "baswana_sen_spanner",
     "clpr_fault_tolerant_spanner",
     "coverage_matrix",
     "describe_algorithms",
+    "describe_host_generators",
     "distributed_ft2_spanner",
     "distributed_ft_spanner",
     "distributed_padded_decomposition",
@@ -117,12 +142,15 @@ __all__ = [
     "fault_tolerant_spanner",
     "fault_tolerant_spanner_until_valid",
     "get_algorithm",
+    "get_host_generator",
     "greedy_spanner",
+    "host_spec_key",
     "init_scheduler_dir",
     "is_fault_tolerant_spanner",
     "is_ft_2spanner",
     "moser_tardos_rounding",
     "register_algorithm",
+    "register_host_generator",
     "run_scheduled_sweep",
     "run_sweep",
     "run_worker",

@@ -30,6 +30,10 @@ Commands:
   reporting health, repair-tier histogram, and the final spanner digest;
 * ``algorithms`` — the registry's capability table
   (:func:`repro.registry.describe_algorithms`);
+* ``hosts`` — the host-topology registry (:mod:`repro.hosts`): list
+  generator capabilities, describe one generator, ``--emit`` a typed
+  :class:`repro.hosts.HostSpec` JSON, or ``--materialize`` the graph
+  itself (``sweep --emit --topology`` consumes the same registry);
 * ``verify`` — check a spanner file against a host file for a given
   ``(k, r)``, with exhaustive / sampled / Lemma 3.1 modes.
 
@@ -68,6 +72,11 @@ from .graph import (
     to_dot,
 )
 from .analysis.experiments import merge_shard_reports
+from .hosts import (
+    HostSpec,
+    describe_host_generators,
+    get_host_generator,
+)
 from .registry import describe_algorithms
 from .sched import (
     init_scheduler_dir,
@@ -198,6 +207,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--graph", action="append", default=None,
                        help="host graph JSON path for --emit (repeatable)")
+    sweep.add_argument(
+        "--topology", action="append", default=None,
+        metavar="NAME[:K=V,...]",
+        help="registered host generator for --emit, e.g. "
+             "kautz:d=2,diameter=3 (repeatable; randomized generators "
+             "take their seed from --seed; unsupported host x algorithm "
+             "points are refused or, with --skip-unsupported, recorded "
+             "on plan.skipped)",
+    )
     sweep.add_argument("--algorithms", default=None,
                        help="comma-separated registry names for --emit")
     sweep.add_argument("--stretch", default="3",
@@ -329,6 +347,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "algorithms", parents=[common],
         help="list registered algorithms and their capabilities",
+    )
+
+    hosts = sub.add_parser(
+        "hosts", parents=[common],
+        help="list host-topology generators, or emit/materialize one",
+    )
+    hosts.add_argument(
+        "name", nargs="?", default=None,
+        help="generator to describe/emit/materialize (omit to list all)",
+    )
+    hosts.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="generator parameter (repeatable; VALUE parsed as JSON, "
+             "falling back to a plain string)",
+    )
+    hosts.add_argument(
+        "--emit", default=None, metavar="OUT",
+        help="write the HostSpec JSON here (consumable by SpannerSpec "
+             "graph bindings and sweep plans)",
+    )
+    hosts.add_argument(
+        "--materialize", default=None, metavar="OUT",
+        help="build the graph and write its JSON here",
     )
 
     ver = sub.add_parser(
@@ -610,6 +651,47 @@ def _number(text: str) -> float:
     return int(value) if value == int(value) else value
 
 
+def _param_value(text: str):
+    """``KEY=VALUE`` values: JSON when it parses, plain string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_host_params(entries, flag: str) -> dict:
+    """Parse repeatable ``KEY=VALUE`` pairs into a params dict."""
+    params = {}
+    for entry in entries or ():
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"{flag} takes KEY=VALUE pairs, got {entry!r}"
+            )
+        params[key] = _param_value(value)
+    return params
+
+
+def _host_spec_from_grid(text: str, seed_base: int) -> HostSpec:
+    """Parse a ``--topology NAME[:K=V,...]`` entry into a HostSpec.
+
+    Randomized generators get ``seed_base`` as their seed (HostSpec
+    validation requires one); deterministic generators get none (it
+    would change their fingerprint for no reason, and validation
+    rejects it).
+    """
+    name, sep, rest = text.partition(":")
+    if not name:
+        raise ReproError(f"--topology needs a generator name, got {text!r}")
+    params = _parse_host_params(
+        [part for part in rest.split(",") if part] if sep else [],
+        "--topology",
+    )
+    info = get_host_generator(name)
+    seed = None if info.deterministic else seed_base
+    return HostSpec(name, params=params, seed=seed)
+
+
 def _sweep_result_doc(fingerprint: str, reports) -> dict:
     """The deterministic merged-sweep document.
 
@@ -727,19 +809,25 @@ def _cmd_sweep(args) -> int:
             ))
         return 0
     if args.emit:
-        if not args.graph or not args.algorithms:
+        if not (args.graph or args.topology) or not args.algorithms:
             raise ReproError(
-                "sweep --emit needs at least one --graph and --algorithms"
+                "sweep --emit needs --algorithms and at least one host: "
+                "--graph PATH and/or --topology NAME[:K=V,...]"
             )
         try:
             params = json.loads(args.params) if args.params else None
         except json.JSONDecodeError as exc:
             raise ReproError(f"--params is not valid JSON: {exc}") from None
+        topologies = [
+            _host_spec_from_grid(entry, _seed_of(args))
+            for entry in args.topology or ()
+        ]
         plan = emit_grid_plan(
             algorithms=_split_csv(args.algorithms, str, "--algorithms"),
             stretches=_split_csv(args.stretch, _number, "--stretch"),
             rs=_split_csv(args.r, int, "--r"),
-            hosts={path: path for path in args.graph},
+            hosts={path: path for path in args.graph} if args.graph else None,
+            topologies=topologies or None,
             fault_kind=args.fault_kind,
             seeds=args.seeds,
             seed_base=_seed_of(args),
@@ -1052,6 +1140,86 @@ def _cmd_algorithms(args) -> int:
     return 0
 
 
+def _cmd_hosts(args) -> int:
+    if args.name is None:
+        if args.param or args.emit or args.materialize:
+            raise ReproError(
+                "hosts --param/--emit/--materialize need a generator name"
+            )
+        rows = describe_host_generators()
+        if args.json:
+            _print_json({"hosts": list(rows)})
+            return 0
+        flags = ["directed", "weighted", "deterministic"]
+        print(render_table(
+            ["name", *flags, "params", "summary"],
+            [
+                [row["name"],
+                 *[
+                     ("?" if row[f] is None else "yes" if row[f] else "-")
+                     for f in flags
+                 ],
+                 ",".join(row["params"]) or "-", row["summary"]]
+                for row in rows
+            ],
+            title=f"{len(rows)} registered host generators "
+                  "(directed '?': depends on the file)",
+        ))
+        return 0
+    info = get_host_generator(args.name)
+    # Randomized generators need a seed (HostSpec validation enforces
+    # it); deterministic ones must not carry one — an explicit --seed on
+    # a deterministic generator falls through to that actionable error.
+    seed = args.seed
+    if seed is None and not info.deterministic:
+        seed = 0
+    spec = HostSpec(
+        args.name, params=_parse_host_params(args.param, "--param"), seed=seed
+    )
+    info.validate(spec)
+    doc = dict(info.capabilities())
+    doc["spec"] = spec.to_dict()
+    doc["fingerprint"] = spec.fingerprint()
+    if args.materialize:
+        graph = spec.materialize()
+        dump_json(graph, args.materialize)
+        doc["materialized"] = {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "directed": graph.directed,
+            "out": args.materialize,
+        }
+    if args.emit:
+        spec.save(args.emit)
+        doc["out"] = args.emit
+    if args.json:
+        _print_json(doc)
+        return 0
+    rows = [
+        ["summary", info.summary],
+        ["directed", "depends on file" if info.directed is None
+         else info.directed],
+        ["weighted", info.weighted],
+        ["deterministic", info.deterministic],
+        ["params", ",".join(info.params) or "-"],
+        ["required", ",".join(info.required) or "-"],
+        ["fingerprint", spec.fingerprint()],
+    ]
+    if info.max_vertices is not None:
+        rows.append(["max vertices", info.max_vertices])
+    if "materialized" in doc:
+        built = doc["materialized"]
+        rows += [["n", built["n"]], ["m", built["m"]]]
+    print(render_table(
+        ["quantity", "value"], rows, title=f"host generator {args.name}"
+    ))
+    if args.emit:
+        print(f"host spec written to {args.emit}")
+    if "materialized" in doc:
+        print(f"graph written to {doc['materialized']['out']}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     graph = load_json(args.graph)
     spanner = load_json(args.spanner)
@@ -1092,6 +1260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "serve": _cmd_serve,
         "algorithms": _cmd_algorithms,
+        "hosts": _cmd_hosts,
         "verify": _cmd_verify,
     }
     try:

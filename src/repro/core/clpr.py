@@ -195,12 +195,16 @@ def clpr_fault_tolerant_spanner(
             f"enumerating {total} fault sets exceeds the limit {max_fault_sets}; "
             "use the analytic bound clpr_ft_size_bound at this scale"
         )
-    resolved = resolve_method(method, n)
+    # CLPR rides the TZ kernels, so it shares their undirected-only
+    # compiled path: digraphs auto-dispatch to dict, explicit "csr" raises.
+    resolved = resolve_method(
+        method, n, directed=graph.directed, directed_csr=False
+    )
     rng = ensure_rng(seed)
     vertices = list(graph.vertices())
     shared_levels = sample_hierarchy(vertices, t, rng) if shared_randomness else None
 
-    if resolved == "csr" and not graph.directed and vertices:
+    if resolved == "csr" and vertices:
         snap = snapshot(graph)
         if snap.scipy_kernels() is not None:
             return _clpr_csr(graph, t, r, vertices, shared_levels, rng)

@@ -102,6 +102,18 @@ class UnknownAlgorithm(RegistryError):
         self.available = tuple(sorted(available))
 
 
+class UnknownHostGenerator(RegistryError):
+    """A host spec references a generator name that is not registered."""
+
+    def __init__(self, name: object, available=()) -> None:
+        hint = ", ".join(sorted(available)) if available else "none registered"
+        super().__init__(
+            f"unknown host generator {name!r}; available generators: {hint}"
+        )
+        self.name = name
+        self.available = tuple(sorted(available))
+
+
 class SweepError(ReproError):
     """A sharded sweep failed in a way naming the shard and the cause.
 

@@ -843,7 +843,13 @@ class BFSBalls:
 METHODS = ("auto", "csr", "dict")
 
 
-def resolve_method(method: str, num_vertices: int) -> str:
+def resolve_method(
+    method: str,
+    num_vertices: int,
+    *,
+    directed: bool = False,
+    directed_csr: bool = True,
+) -> str:
     """The one dispatch rule behind every ``method="auto"|"csr"|"dict"`` kwarg.
 
     * ``"dict"`` — always run the reference dict-of-dict implementation.
@@ -852,12 +858,32 @@ def resolve_method(method: str, num_vertices: int) -> str:
       :data:`MIN_DISPATCH_VERTICES` vertices; below that the snapshot
       overhead dominates and the dict implementations win.
 
+    ``directed``/``directed_csr`` describe the *caller's* compiled path.
+    Most consumers ride the directed CSR snapshot natively (the greedy
+    indexed kernel keeps a reverse adjacency, the Theorem 2.1 engine and
+    the path queries traverse out-edges) and can leave the defaults
+    alone. A compiled path that is genuinely undirected-only — TZ and
+    CLPR need reverse traversal the directed snapshot does not store —
+    passes ``directed=graph.directed, directed_csr=False``: ``"auto"``
+    then resolves to ``"dict"`` on digraphs, and an explicit ``"csr"``
+    raises instead of silently downgrading, so a caller who pinned the
+    fast path learns the truth instead of benchmarking the wrong kernel.
+
     Both paths of every algorithm are pinned output-identical (same RNG
     stream, same edge sets / cluster assignments) by the property tests in
     ``tests/test_algorithms_csr.py``, so the choice is performance-only.
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    if directed and not directed_csr:
+        if method == "csr":
+            raise ValueError(
+                "method='csr' requested but this pipeline's compiled "
+                "kernels are undirected-only (the directed CSR snapshot "
+                "stores out-edges only); use method='auto'/'dict' or an "
+                "undirected host"
+            )
+        return "dict"
     if method == "auto":
         return "csr" if num_vertices >= MIN_DISPATCH_VERTICES else "dict"
     return method

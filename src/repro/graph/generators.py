@@ -122,6 +122,189 @@ def hypercube_graph(dim: int) -> Graph:
 
 
 # ---------------------------------------------------------------------------
+# Structured interconnect families
+# ---------------------------------------------------------------------------
+
+
+def kautz_graph(d: int, diameter: int, weight: float = 1.0) -> DiGraph:
+    """Kautz digraph ``K(d, D)`` with ``D = diameter``.
+
+    Vertices are the ``(d + 1) * d^D`` strings of length ``D + 1`` over an
+    alphabet of ``d + 1`` symbols with no two consecutive symbols equal,
+    relabelled ``0..n-1`` in lexicographic order. There is an arc from
+    ``s_0 s_1 … s_D`` to ``s_1 … s_D x`` for every ``x != s_D``, so every
+    vertex has out-degree (and in-degree) exactly ``d`` and ``m = n * d``.
+
+    The family's defining property for spanner experiments: between every
+    ordered pair of distinct vertices there is a *unique* shortest path
+    (walking from ``u`` to ``v`` shifts in ``v``'s symbols one at a time,
+    and the minimal number of shifts — the overlap of ``u``'s suffix with
+    ``v``'s prefix — forces every intermediate string). That makes Kautz
+    hosts a sharp stress test for tie-breaking rules and for the directed
+    CSR dispatch path.
+    """
+    if d < 1:
+        raise GraphError(f"Kautz graph needs degree d >= 1, got {d}")
+    if diameter < 1:
+        raise GraphError(f"Kautz graph needs diameter >= 1, got {diameter}")
+    sequences = [(a,) for a in range(d + 1)]
+    for _ in range(diameter):
+        sequences = [
+            s + (b,) for s in sequences for b in range(d + 1) if b != s[-1]
+        ]
+    index = {s: i for i, s in enumerate(sequences)}
+    g = DiGraph()
+    g.add_vertices(range(len(sequences)))
+    for s, i in index.items():
+        for b in range(d + 1):
+            if b != s[-1]:
+                g.add_edge(i, index[s[1:] + (b,)], weight)
+    return g
+
+
+def dcell_counts(n: int, level: int) -> Tuple[int, int]:
+    """Closed-form ``(vertices, edges)`` of :func:`dcell_graph`.
+
+    ``t_0 = n`` and ``t_l = t_{l-1} * (t_{l-1} + 1)``; a level-``l`` DCell
+    is ``t_{l-1} + 1`` copies of the level-``l-1`` DCell plus one level
+    link per copy pair, so ``e_0 = C(n, 2)`` and
+    ``e_l = (t_{l-1} + 1) * e_{l-1} + C(t_{l-1} + 1, 2)``.
+    """
+    if n < 2:
+        raise GraphError(f"DCell needs at least 2 servers per cell, got {n}")
+    if level < 0:
+        raise GraphError(f"DCell level must be >= 0, got {level}")
+    t = n
+    e = n * (n - 1) // 2
+    for _ in range(level):
+        copies = t + 1
+        e = copies * e + copies * (copies - 1) // 2
+        t = t * copies
+    return t, e
+
+
+def dcell_graph(n: int, level: int, weight: float = 1.0) -> Graph:
+    """Recursively-defined DCell datacenter fabric ``DCell_level(n)``.
+
+    ``DCell_0`` is a clique of ``n`` servers (one switch, modelled as
+    direct links). ``DCell_l`` takes ``t_{l-1} + 1`` copies of
+    ``DCell_{l-1}`` (where ``t_{l-1}`` is the sub-cell's server count) and
+    adds exactly one server-to-server link between every pair of copies:
+    copy ``i`` and copy ``j > i`` are joined by
+    ``servers_i[j - 1] -- servers_j[i]``, the standard DCell wiring that
+    gives each server at most one link per level. Vertices are tuples
+    ``(c_level, …, c_1, i)`` naming the copy path and the server index.
+    """
+    expected, _ = dcell_counts(n, level)  # validates n and level
+    g = Graph()
+
+    def build_cell(prefix: Tuple[int, ...], l: int) -> list:
+        if l == 0:
+            servers = [prefix + (i,) for i in range(n)]
+            for s in servers:
+                g.add_vertex(s)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    g.add_edge(servers[i], servers[j], weight)
+            return servers
+        sub_servers, _ = dcell_counts(n, l - 1)
+        copies = [build_cell(prefix + (c,), l - 1) for c in range(sub_servers + 1)]
+        for i in range(len(copies)):
+            for j in range(i + 1, len(copies)):
+                g.add_edge(copies[i][j - 1], copies[j][i], weight)
+        return [s for copy in copies for s in copy]
+
+    servers = build_cell((), level)
+    assert len(servers) == expected
+    return g
+
+
+def watts_strogatz_graph(
+    n: int, k: int, p: float, seed: RandomLike = None, weight: float = 1.0
+) -> Graph:
+    """Watts–Strogatz small-world graph (ring lattice + seeded rewiring).
+
+    Starts from a ring of ``n`` vertices each joined to its ``k`` nearest
+    neighbours (``k`` even), then rewires each lattice edge's far endpoint
+    with probability ``p`` to a uniform non-duplicate target — the
+    standard construction, so the edge count stays exactly ``n * k / 2``.
+    """
+    if k % 2 != 0:
+        raise GraphError(f"Watts-Strogatz needs even k, got {k}")
+    if not 2 <= k < n:
+        raise GraphError(f"Watts-Strogatz needs 2 <= k < n, got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertices(range(n))
+    for j in range(1, k // 2 + 1):
+        for u in range(n):
+            g.add_edge(u, (u + j) % n, weight)
+    for j in range(1, k // 2 + 1):
+        for u in range(n):
+            if rng.random() >= p:
+                continue
+            old = (u + j) % n
+            # Skip saturated vertices instead of looping forever.
+            if g.degree(u) >= n - 1:
+                continue
+            while True:
+                new = rng.randrange(n)
+                if new != u and not g.has_edge(u, new):
+                    break
+            g.remove_edge(u, old)
+            g.add_edge(u, new, weight)
+    return g
+
+
+def powerlaw_cluster_graph(
+    n: int, m: int, p: float, seed: RandomLike = None
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Grows like Barabási–Albert (each new vertex makes ``m`` links), but
+    after every preferential link the next link is, with probability
+    ``p``, a *triad closure* to a random neighbour of the vertex just
+    linked — raising the clustering coefficient while keeping the
+    power-law degree tail.
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"need 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertices(range(n))
+    repeated = list(range(m))
+    for v in range(m, n):
+        target = repeated[rng.randrange(len(repeated))]
+        g.add_edge(v, target, 1.0)
+        new_targets = [target]
+        while len(new_targets) < m:
+            if rng.random() < p:
+                neighbours = [
+                    w
+                    for w in g.neighbors(new_targets[-1])
+                    if w != v and not g.has_edge(v, w)
+                ]
+                if neighbours:
+                    choice = neighbours[rng.randrange(len(neighbours))]
+                    g.add_edge(v, choice, 1.0)
+                    new_targets.append(choice)
+                    continue
+            while True:
+                candidate = repeated[rng.randrange(len(repeated))]
+                if candidate != v and not g.has_edge(v, candidate):
+                    break
+            g.add_edge(v, candidate, 1.0)
+            new_targets.append(candidate)
+        repeated.extend(new_targets)
+        repeated.extend([v] * m)
+    return g
+
+
+# ---------------------------------------------------------------------------
 # Random families
 # ---------------------------------------------------------------------------
 

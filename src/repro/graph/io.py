@@ -107,10 +107,22 @@ def dump_edge_list(graph: BaseGraph, handle: TextIO) -> None:
 
 
 def load_edge_list(handle: TextIO) -> BaseGraph:
-    """Read an edge list written by :func:`dump_edge_list`.
+    """Read a whitespace-separated edge list, tolerantly.
+
+    Accepts files written by :func:`dump_edge_list` and plain corpus edge
+    lists from the wild:
+
+    * the ``# repro-edge-list graph|digraph`` header is optional (files
+      without one load as undirected);
+    * a ``# directed`` comment line before the first edge switches to a
+      digraph;
+    * blank lines and other ``#`` comments are skipped anywhere;
+    * edge lines are ``u v`` or ``u v weight`` (weight defaults to 1.0);
+    * ``# vertex LABEL`` records an isolated vertex.
 
     Vertex labels are parsed as ints when possible, floats next, and kept
-    as strings otherwise.
+    as strings otherwise. Malformed input raises a :class:`GraphError`
+    naming the 1-based line number and the offending text.
     """
 
     def parse_label(text: str):
@@ -121,23 +133,52 @@ def load_edge_list(handle: TextIO) -> BaseGraph:
                 continue
         return text
 
-    first = handle.readline().strip()
-    if not first.startswith("# repro-edge-list"):
-        raise GraphError("missing repro-edge-list header")
-    graph: BaseGraph = DiGraph() if first.endswith("digraph") else Graph()
-    for line in handle:
-        line = line.strip()
+    def fail(number: int, line: str, why: str) -> None:
+        raise GraphError(f"edge list line {number}: {why} (got {line!r})")
+
+    directed = False
+    edges: List[tuple] = []
+    isolated: List[Vertex] = []
+    saw_edges = False
+    for number, raw in enumerate(handle, start=1):
+        line = raw.strip()
         if not line:
             continue
-        if line.startswith("# vertex "):
-            graph.add_vertex(parse_label(line[len("# vertex "):]))
-            continue
         if line.startswith("#"):
+            comment = line[1:].strip()
+            if comment.startswith("repro-edge-list"):
+                kind = comment[len("repro-edge-list"):].strip()
+                if kind not in ("graph", "digraph"):
+                    fail(number, line, "header kind must be 'graph' or 'digraph'")
+                if saw_edges:
+                    fail(number, line, "header must precede every edge line")
+                directed = kind == "digraph"
+            elif comment == "directed":
+                if saw_edges:
+                    fail(number, line, "'# directed' must precede every edge line")
+                directed = True
+            elif comment.startswith("vertex "):
+                isolated.append(parse_label(comment[len("vertex "):]))
             continue
         parts = line.split()
-        if len(parts) != 3:
-            raise GraphError(f"malformed edge line: {line!r}")
-        graph.add_edge(parse_label(parts[0]), parse_label(parts[1]), float(parts[2]))
+        if len(parts) not in (2, 3):
+            fail(number, line, "expected 'u v' or 'u v weight'")
+        if len(parts) == 3:
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                fail(number, line, f"edge weight must be a number, not {parts[2]!r}")
+        else:
+            weight = 1.0
+        saw_edges = True
+        edges.append((number, line, parse_label(parts[0]), parse_label(parts[1]), weight))
+    graph: BaseGraph = DiGraph() if directed else Graph()
+    graph.add_vertices(isolated)
+    for number, line, u, v, weight in edges:
+        try:
+            graph.add_edge(u, v, weight)
+        except GraphError as exc:
+            fail(number, line, str(exc))
     return graph
 
 

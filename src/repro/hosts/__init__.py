@@ -1,0 +1,43 @@
+"""Host topology subsystem: typed specs + capability-carrying registry.
+
+The host-side mirror of the algorithm front door. A
+:class:`repro.hosts.spec.HostSpec` names a registered generator, its
+params, and (for randomized families) a seed; the registry
+(:mod:`repro.hosts.registry`) knows every family's capabilities —
+directedness, weights, determinism, size bounds — so sweeps can plan
+(algorithm × topology × fault-model) grids without materializing a
+graph, and refuse impossible combinations up front.
+
+    from repro.hosts import HostSpec
+
+    kautz = HostSpec("kautz", params={"d": 2, "diameter": 3})
+    fabric = HostSpec("dcell", params={"n": 4, "level": 1})
+    graph = fabric.materialize()
+
+Specs travel by content: strict JSON round-trips plus a spec-derived
+fingerprint make them stable across machines and ``PYTHONHASHSEED``
+values, which is what lets :class:`repro.sweep.SweepPlan` carry them
+lazily and scheduler manifests stay byte-stable.
+"""
+
+from .registry import (
+    HostInfo,
+    available_host_generators,
+    describe_host_generators,
+    get_host_generator,
+    materialize_host,
+    register_host_generator,
+)
+from .spec import HOST_FORMAT, HostSpec, is_host_document
+
+__all__ = [
+    "HOST_FORMAT",
+    "HostInfo",
+    "HostSpec",
+    "available_host_generators",
+    "describe_host_generators",
+    "get_host_generator",
+    "is_host_document",
+    "materialize_host",
+    "register_host_generator",
+]

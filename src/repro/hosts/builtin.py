@@ -1,0 +1,328 @@
+"""Builtin host generators: every topology family, self-registered.
+
+Each adapter wraps one :mod:`repro.graph.generators` constructor (or the
+edge-list corpus loader) into the uniform registry signature
+``generator(params, seed) -> BaseGraph`` and declares its capabilities.
+The structured interconnect families — Kautz ``K(d, D)``, recursive
+``DCell(n, k)`` — carry closed-form ``size_hint`` functions so the
+registry can refuse parameter choices that would explode *before*
+building anything.
+
+The ``corpus`` generator loads whitespace edge-list files from disk with
+a content-hash cache: two specs naming files with identical bytes share
+one in-memory graph (and therefore one CSR snapshot inside a session),
+and editing a file invalidates the cache automatically because the key
+is the content digest, not the path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import InvalidSpec
+from ..graph.generators import (
+    barabasi_albert_graph,
+    complete_bipartite_graph,
+    complete_digraph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    dcell_counts,
+    dcell_graph,
+    gnp_random_digraph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    kautz_graph,
+    layered_fault_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from ..graph.io import load_edge_list
+from .registry import register_host_generator
+
+#: Safety bound for the recursive families, whose vertex count is
+#: super-polynomial in their parameters (DCell is doubly exponential in
+#: the level). Large enough for any laptop- or cluster-scale sweep.
+STRUCTURED_MAX_VERTICES = 1_000_000
+
+
+def _range_pair(params: Mapping[str, Any], key: str):
+    value = params.get(key)
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(x, (int, float)) for x in value)
+    ):
+        raise InvalidSpec(
+            f"host param {key!r} must be a [lo, hi] pair of numbers, "
+            f"got {value!r}"
+        )
+    return (float(value[0]), float(value[1]))
+
+
+# -- deterministic classical families ---------------------------------
+
+
+@register_host_generator(
+    "complete",
+    summary="complete undirected graph K_n",
+    params=("n",),
+)
+def _complete(params: Mapping[str, Any], seed: Optional[int]):
+    return complete_graph(params["n"])
+
+
+@register_host_generator(
+    "complete-digraph",
+    summary="complete digraph on n vertices (all ordered pairs)",
+    directed=True,
+    params=("n",),
+)
+def _complete_digraph(params: Mapping[str, Any], seed: Optional[int]):
+    return complete_digraph(params["n"])
+
+
+@register_host_generator(
+    "complete-bipartite",
+    summary="complete bipartite graph K_{a,b}",
+    params=("a", "b"),
+)
+def _complete_bipartite(params: Mapping[str, Any], seed: Optional[int]):
+    return complete_bipartite_graph(params["a"], params["b"])
+
+
+@register_host_generator(
+    "path",
+    summary="path on n vertices",
+    params=("n",),
+)
+def _path(params: Mapping[str, Any], seed: Optional[int]):
+    return path_graph(params["n"])
+
+
+@register_host_generator(
+    "cycle",
+    summary="cycle on n >= 3 vertices",
+    params=("n",),
+)
+def _cycle(params: Mapping[str, Any], seed: Optional[int]):
+    return cycle_graph(params["n"])
+
+
+@register_host_generator(
+    "star",
+    summary="star with centre 0 and n leaves",
+    params=("n",),
+)
+def _star(params: Mapping[str, Any], seed: Optional[int]):
+    return star_graph(params["n"])
+
+
+@register_host_generator(
+    "grid",
+    summary="rows x cols 2D grid",
+    params=("rows", "cols"),
+)
+def _grid(params: Mapping[str, Any], seed: Optional[int]):
+    return grid_graph(params["rows"], params["cols"])
+
+
+@register_host_generator(
+    "hypercube",
+    summary="boolean hypercube of dimension dim",
+    params=("dim",),
+)
+def _hypercube(params: Mapping[str, Any], seed: Optional[int]):
+    return hypercube_graph(params["dim"])
+
+
+@register_host_generator(
+    "layered-fault",
+    summary="width parallel vertex-disjoint paths, layers completely joined",
+    params=("width", "layers"),
+)
+def _layered_fault(params: Mapping[str, Any], seed: Optional[int]):
+    return layered_fault_graph(params["width"], params["layers"])
+
+
+# -- structured interconnect families ---------------------------------
+
+
+@register_host_generator(
+    "kautz",
+    summary="Kautz digraph K(d, D): unique shortest paths, out-degree d",
+    directed=True,
+    params=("d", "diameter"),
+    max_vertices=STRUCTURED_MAX_VERTICES,
+    size_hint=lambda params: (params["d"] + 1) * params["d"] ** params["diameter"],
+)
+def _kautz(params: Mapping[str, Any], seed: Optional[int]):
+    return kautz_graph(params["d"], params["diameter"])
+
+
+@register_host_generator(
+    "dcell",
+    summary="recursive DCell_level(n) datacenter fabric",
+    params=("n", "level"),
+    max_vertices=STRUCTURED_MAX_VERTICES,
+    size_hint=lambda params: dcell_counts(params["n"], params["level"])[0],
+)
+def _dcell(params: Mapping[str, Any], seed: Optional[int]):
+    return dcell_graph(params["n"], params["level"])
+
+
+# -- randomized families ----------------------------------------------
+
+
+@register_host_generator(
+    "gnp",
+    summary="Erdos-Renyi G(n, p), optional uniform weight range",
+    weighted=True,
+    deterministic=False,
+    params=("n", "p", "weight_range"),
+    required=("n", "p"),
+)
+def _gnp(params: Mapping[str, Any], seed: Optional[int]):
+    return gnp_random_graph(
+        params["n"], params["p"], seed=seed,
+        weight_range=_range_pair(params, "weight_range"),
+    )
+
+
+@register_host_generator(
+    "gnp-digraph",
+    summary="directed G(n, p), optional uniform arc-cost range",
+    directed=True,
+    weighted=True,
+    deterministic=False,
+    params=("n", "p", "cost_range"),
+    required=("n", "p"),
+)
+def _gnp_digraph(params: Mapping[str, Any], seed: Optional[int]):
+    return gnp_random_digraph(
+        params["n"], params["p"], seed=seed,
+        cost_range=_range_pair(params, "cost_range"),
+    )
+
+
+@register_host_generator(
+    "gnp-connected",
+    summary="G(n, p) conditioned on connectivity (rejection sampling)",
+    weighted=True,
+    deterministic=False,
+    params=("n", "p", "weight_range"),
+    required=("n", "p"),
+)
+def _gnp_connected(params: Mapping[str, Any], seed: Optional[int]):
+    return connected_gnp_graph(
+        params["n"], params["p"], seed=seed,
+        weight_range=_range_pair(params, "weight_range"),
+    )
+
+
+@register_host_generator(
+    "regular",
+    summary="random d-regular simple graph (pairing model + swaps)",
+    deterministic=False,
+    params=("n", "d"),
+)
+def _regular(params: Mapping[str, Any], seed: Optional[int]):
+    return random_regular_graph(params["n"], params["d"], seed=seed)
+
+
+@register_host_generator(
+    "barabasi-albert",
+    summary="Barabasi-Albert preferential attachment, m links per vertex",
+    deterministic=False,
+    params=("n", "m"),
+)
+def _barabasi_albert(params: Mapping[str, Any], seed: Optional[int]):
+    return barabasi_albert_graph(params["n"], params["m"], seed=seed)
+
+
+@register_host_generator(
+    "geometric",
+    summary="random geometric graph on the unit square, Euclidean weights",
+    weighted=True,
+    deterministic=False,
+    params=("n", "radius", "euclidean_weights"),
+    required=("n", "radius"),
+)
+def _geometric(params: Mapping[str, Any], seed: Optional[int]):
+    return random_geometric_graph(
+        params["n"], params["radius"], seed=seed,
+        euclidean_weights=bool(params.get("euclidean_weights", True)),
+    )
+
+
+@register_host_generator(
+    "watts-strogatz",
+    summary="Watts-Strogatz small world: ring lattice + p-rewiring",
+    deterministic=False,
+    params=("n", "k", "p"),
+)
+def _watts_strogatz(params: Mapping[str, Any], seed: Optional[int]):
+    return watts_strogatz_graph(params["n"], params["k"], params["p"], seed=seed)
+
+
+@register_host_generator(
+    "powerlaw-cluster",
+    summary="Holme-Kim power-law graph with tunable clustering",
+    deterministic=False,
+    params=("n", "m", "p"),
+)
+def _powerlaw_cluster(params: Mapping[str, Any], seed: Optional[int]):
+    return powerlaw_cluster_graph(params["n"], params["m"], params["p"], seed=seed)
+
+
+# -- edge-list corpus loader ------------------------------------------
+
+#: Parsed corpus graphs keyed by sha256 of the file bytes. Keying on
+#: content (not path) means renamed copies share one instance — and one
+#: CSR snapshot — while an edited file re-parses automatically.
+_CORPUS_CACHE: Dict[str, Any] = {}
+
+
+def corpus_content_digest(path: str) -> str:
+    """sha256 hex digest of the corpus file's bytes.
+
+    Sweep plans mix this into their content fingerprint so a plan over
+    ``HostSpec("corpus", ...)`` pins the *data*, not just the filename.
+    """
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+@register_host_generator(
+    "corpus",
+    summary="whitespace edge-list file from disk (content-hash cached)",
+    directed=None,
+    weighted=True,
+    params=("path",),
+)
+def _corpus(params: Mapping[str, Any], seed: Optional[int]):
+    path = params["path"]
+    if not isinstance(path, str) or not path:
+        raise InvalidSpec(
+            f"corpus host needs params['path'] as a file path str, got {path!r}"
+        )
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    digest = hashlib.sha256(blob).hexdigest()
+    cached = _CORPUS_CACHE.get(digest)
+    if cached is None:
+        cached = load_edge_list(io.StringIO(blob.decode("utf-8")))
+        _CORPUS_CACHE[digest] = cached
+    return cached
+
+
+__all__ = ["STRUCTURED_MAX_VERTICES", "corpus_content_digest"]

@@ -1,0 +1,262 @@
+"""The host-generator registry: one namespace for every host topology.
+
+The algorithm registry (:mod:`repro.registry`) answers "what can be
+built?"; this registry answers "what can it be built *on*?". Every
+topology family self-registers via :func:`register_host_generator` with
+machine-readable capabilities — does it produce directed graphs?
+non-uniform weights? is it deterministic or seeded? how big can it get?
+— so the sweep emitter can cross-check (host × algorithm) grid points
+without materializing a single graph:
+
+* :func:`available_host_generators` — the sorted names;
+* :func:`get_host_generator` — the :class:`HostInfo` record;
+* :func:`describe_host_generators` — JSON-able capability table (the
+  CLI's ``hosts --json`` output);
+* :func:`materialize_host` — validate a :class:`HostSpec` against its
+  generator's capabilities and build the graph.
+
+A registered generator has the uniform signature
+``generator(params, seed) -> BaseGraph``: the spec's (already frozen)
+params mapping and seed in, the host graph out.
+
+Builtin registration is lazy: :mod:`repro.hosts.builtin` is imported the
+first time anything asks the registry a question, which keeps
+``import repro.hosts`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import InvalidSpec, RegistryError, UnknownHostGenerator
+from .spec import HostSpec
+
+#: Generator signature: (params, seed) -> BaseGraph.
+Generator = Callable[[Mapping[str, Any], Optional[int]], Any]
+
+#: Modules whose import self-registers the builtin host generators.
+_BUILTIN_MODULES = ("repro.hosts.builtin",)
+
+_REGISTRY: Dict[str, "HostInfo"] = {}
+_builtins_loaded = False
+
+
+@dataclass(frozen=True)
+class HostInfo:
+    """Registry record: the generator plus its capability metadata.
+
+    ``directed`` is tri-state: ``True`` (always produces digraphs, e.g.
+    ``kautz``), ``False`` (always undirected), or ``None`` (depends on
+    the input — the ``corpus`` loader). ``deterministic`` generators
+    take no seed; randomized ones require an int seed so any sweep
+    worker can rebuild the identical host. ``max_vertices`` plus the
+    ``size_hint`` closed form bound recursive families (Kautz, DCell)
+    whose size explodes in their parameters.
+    """
+
+    name: str
+    generator: Generator
+    summary: str
+    directed: Optional[bool] = False
+    weighted: bool = False
+    deterministic: bool = True
+    #: Accepted ``params`` keys; anything else is refused by name.
+    params: Tuple[str, ...] = ()
+    #: The subset of ``params`` that must be present.
+    required: Tuple[str, ...] = ()
+    #: Hard cap on the materialized vertex count (None = unbounded).
+    max_vertices: Optional[int] = None
+    #: Closed-form vertex count from params, when one exists.
+    size_hint: Optional[Callable[[Mapping[str, Any]], int]] = field(
+        default=None, compare=False
+    )
+
+    def capabilities(self) -> Dict[str, Any]:
+        """JSON-able capability row (used by CLI/introspection)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "directed": self.directed,
+            "weighted": self.weighted,
+            "deterministic": self.deterministic,
+            "params": list(self.params),
+            "required": list(self.required),
+            "max_vertices": self.max_vertices,
+        }
+
+    def validate(self, spec: HostSpec) -> None:
+        """Check a spec against this generator's capabilities.
+
+        Raises :class:`repro.errors.InvalidSpec` naming the offending
+        field, the accepted values, and the generator — eagerly, so grid
+        emission fails before any worker process materializes anything.
+        """
+        extra = set(spec.params) - set(self.params)
+        if extra:
+            accepted = ", ".join(self.params) if self.params else "none"
+            raise InvalidSpec(
+                f"host generator {self.name!r} got unknown params "
+                f"{sorted(extra)}; accepted params: {accepted}"
+            )
+        missing = set(self.required) - set(spec.params)
+        if missing:
+            raise InvalidSpec(
+                f"host generator {self.name!r} is missing required params "
+                f"{sorted(missing)}"
+            )
+        if self.deterministic and spec.seed is not None:
+            raise InvalidSpec(
+                f"host generator {self.name!r} is deterministic and takes "
+                f"no seed, got seed={spec.seed}; drop the seed so equal "
+                "graphs get equal fingerprints"
+            )
+        if not self.deterministic and spec.seed is None:
+            raise InvalidSpec(
+                f"host generator {self.name!r} is randomized and needs an "
+                "int seed so sweep workers can rebuild the identical host"
+            )
+        if self.size_hint is not None and self.max_vertices is not None:
+            try:
+                predicted = self.size_hint(spec.params)
+            except Exception:
+                predicted = None  # param-type errors surface at build time
+            if predicted is not None and predicted > self.max_vertices:
+                raise InvalidSpec(
+                    f"host generator {self.name!r} with params "
+                    f"{dict(spec.params)!r} would build {predicted} vertices, "
+                    f"over the {self.max_vertices}-vertex safety bound"
+                )
+
+    def unsupported_reason(self, algorithm_info: Any) -> Optional[str]:
+        """Why this host cannot feed ``algorithm_info``, or ``None``.
+
+        The host-side counterpart of
+        :meth:`repro.registry.AlgorithmInfo.unsupported_reason`: the
+        sweep emitter calls both, so (algorithm × topology) grids refuse
+        impossible combinations up front instead of failing in a worker.
+        """
+        if self.directed and not algorithm_info.directed:
+            return (
+                f"host {self.name!r} is directed but algorithm "
+                f"{algorithm_info.name!r} only serves undirected hosts"
+            )
+        if self.weighted and not algorithm_info.weighted:
+            return (
+                f"host {self.name!r} is weighted but algorithm "
+                f"{algorithm_info.name!r} only serves unit weights"
+            )
+        return None
+
+
+def register_host_generator(
+    name: str,
+    *,
+    summary: str,
+    directed: Optional[bool] = False,
+    weighted: bool = False,
+    deterministic: bool = True,
+    params: Tuple[str, ...] = (),
+    required: Optional[Tuple[str, ...]] = None,
+    max_vertices: Optional[int] = None,
+    size_hint: Optional[Callable[[Mapping[str, Any]], int]] = None,
+) -> Callable[[Generator], Generator]:
+    """Decorator: register ``generator(params, seed)`` under ``name``.
+
+    ``required`` defaults to all of ``params``. Raises
+    :class:`repro.errors.RegistryError` on duplicate names — two modules
+    silently fighting over one name is always a bug.
+    """
+    if not isinstance(name, str) or not name:
+        raise RegistryError(
+            f"host generator name must be a non-empty str, got {name!r}"
+        )
+    params = tuple(params)
+    required = params if required is None else tuple(required)
+    unknown_required = set(required) - set(params)
+    if unknown_required:
+        raise RegistryError(
+            f"host generator {name!r}: required keys {sorted(unknown_required)} "
+            f"are not in params {params!r}"
+        )
+
+    def decorator(generator: Generator) -> Generator:
+        if name in _REGISTRY:
+            raise RegistryError(
+                f"host generator {name!r} is already registered "
+                f"(by {_REGISTRY[name].generator.__module__})"
+            )
+        _REGISTRY[name] = HostInfo(
+            name=name,
+            generator=generator,
+            summary=summary,
+            directed=directed,
+            weighted=weighted,
+            deterministic=deterministic,
+            params=params,
+            required=required,
+            max_vertices=max_vertices,
+            size_hint=size_hint,
+        )
+        return generator
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the builtin generator module once so its hooks have run.
+
+    Same discipline as :func:`repro.registry._ensure_builtins`: the flag
+    is raised before the loop so queries made during the builtin import
+    short-circuit, and lowered again on failure so the next query
+    retries instead of serving a half-populated registry.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        _builtins_loaded = False
+        raise
+
+
+def available_host_generators() -> Tuple[str, ...]:
+    """Sorted names of every registered host generator."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_host_generator(name: str) -> HostInfo:
+    """Look up one generator; unknown names list what is available."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownHostGenerator(name, available=_REGISTRY) from None
+
+
+def describe_host_generators() -> Tuple[Dict[str, Any], ...]:
+    """Capability rows for every registered generator, sorted by name."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name].capabilities() for name in sorted(_REGISTRY))
+
+
+def materialize_host(spec: HostSpec):
+    """Validate ``spec`` against its generator and build the host graph."""
+    info = get_host_generator(spec.generator)
+    info.validate(spec)
+    return info.generator(spec.params, spec.seed)
+
+
+__all__ = [
+    "HostInfo",
+    "available_host_generators",
+    "describe_host_generators",
+    "get_host_generator",
+    "materialize_host",
+    "register_host_generator",
+]

@@ -1,0 +1,183 @@
+"""Typed host specs: serializable descriptions of host topologies.
+
+A :class:`HostSpec` is to host graphs what
+:class:`repro.spec.SpannerSpec` is to builds: a frozen, validated,
+JSON-round-tripping value naming a registered generator
+(:mod:`repro.hosts.registry`), its parameters, and — for randomized
+families — the seed. Because the spec is pure data, it travels through
+sweep plans and scheduler manifests by *content*: two machines holding
+the same spec document agree on its :meth:`HostSpec.fingerprint` without
+ever materializing the graph, and each worker materializes lazily on
+first use.
+
+    >>> spec = HostSpec("kautz", params={"d": 2, "diameter": 3})
+    >>> spec.fingerprint()          # stable across processes/machines
+    '0f…'
+    >>> g = spec.materialize()      # the actual DiGraph, built on demand
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import InvalidSpec
+from ..spec import _frozen_params, _require_int
+
+#: Format tag stamped into serialized host documents. Sweep plans use it
+#: to tell a ``HostSpec`` document apart from an inlined ``repro-graph``.
+HOST_FORMAT = "repro-host"
+HOST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One complete, serializable host-topology request.
+
+    Parameters
+    ----------
+    generator:
+        Registry name (see
+        :func:`repro.hosts.registry.available_host_generators`).
+        Resolution happens at materialize time, so specs can be
+        constructed for generators registered later.
+    params:
+        Generator-specific knobs (e.g. ``{"d": 2, "diameter": 3}`` for
+        ``kautz``). Must be JSON-serializable; validated against the
+        generator's accepted/required parameter lists when the spec is
+        validated or materialized.
+    seed:
+        Deterministic seed for randomized families. Deterministic
+        generators reject a seed (it would diversify fingerprints of
+        identical graphs); randomized generators require one (an
+        unseeded host could never be rebuilt identically by another
+        sweep worker).
+    """
+
+    generator: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.generator, str) or not self.generator:
+            raise InvalidSpec(
+                f"host generator must be a non-empty str, got {self.generator!r}"
+            )
+        if self.seed is not None:
+            _require_int("host seed", self.seed)
+        object.__setattr__(self, "params", _frozen_params(self.params))
+
+    # -- convenience --------------------------------------------------
+
+    def replace(self, **changes: Any) -> "HostSpec":
+        """A copy with the given fields replaced (validated again)."""
+        return dataclasses.replace(self, **changes)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Read one generator-specific knob."""
+        return self.params.get(key, default)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the spec.
+
+        Derived purely from the serialized document (sorted-keys JSON →
+        sha256), never from object identity or hash ordering, so it is
+        equal across processes, machines, and ``PYTHONHASHSEED`` values.
+        Sweep plans key host materialization caches and scheduler
+        manifests on it.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def materialize(self):
+        """Build the host graph this spec describes.
+
+        Resolves the generator through :mod:`repro.hosts.registry`
+        (validating params and seed against its capabilities) and runs
+        it. Pure function of the spec — equal specs produce equal graphs.
+        """
+        from .registry import materialize_host
+
+        return materialize_host(self)
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain JSON-compatible document."""
+        return {
+            "format": HOST_FORMAT,
+            "version": HOST_VERSION,
+            "generator": self.generator,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HostSpec":
+        """Inverse of :meth:`to_dict`; strict about shape and keys."""
+        if not isinstance(data, Mapping):
+            raise InvalidSpec(f"host document must be a mapping, got {data!r}")
+        if data.get("format", HOST_FORMAT) != HOST_FORMAT:
+            raise InvalidSpec(
+                f"not a host document: format={data.get('format')!r} "
+                f"(expected {HOST_FORMAT!r})"
+            )
+        version = data.get("version", HOST_VERSION)
+        if version != HOST_VERSION:
+            raise InvalidSpec(
+                f"unsupported host document version {version!r} (this "
+                f"library reads version {HOST_VERSION})"
+            )
+        known = {"format", "version", "generator", "params", "seed"}
+        extra = set(data) - known
+        if extra:
+            raise InvalidSpec(
+                f"host document has unknown keys {sorted(extra)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "generator" not in data:
+            raise InvalidSpec("host document is missing the 'generator' key")
+        return cls(
+            generator=data["generator"],
+            params=data.get("params", {}),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON text (sorted keys, so output is reproducible)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HostSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpec(f"host document is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the spec as a JSON file (consumed by ``repro hosts``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "HostSpec":
+        """Read a host spec JSON file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def is_host_document(data: Any) -> bool:
+    """Whether ``data`` looks like a serialized :class:`HostSpec`.
+
+    The discriminator sweep plans use when rehydrating their ``hosts``
+    mapping, where a value may be a path string, an inlined
+    ``repro-graph`` document, or a host document.
+    """
+    return isinstance(data, Mapping) and data.get("format") == HOST_FORMAT
+
+
+__all__ = ["HOST_FORMAT", "HOST_VERSION", "HostSpec", "is_host_document"]

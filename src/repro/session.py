@@ -36,15 +36,20 @@ from __future__ import annotations
 
 import hashlib
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .errors import InvalidSpec
 from .graph.csr import maybe_snapshot, resolve_method, snapshot
 from .graph.graph import BaseGraph
 from .graph.io import load_json
+from .hosts import HostSpec
 from .registry import AlgorithmInfo, available_algorithms, get_algorithm
 from .rng import RandomLike, derive_rng, ensure_rng
 from .spec import BuildReport, SpannerSpec
+
+#: Anything a build can run on: a loaded graph or a typed host spec
+#: (materialized through the session's per-fingerprint cache).
+HostLike = Union[BaseGraph, HostSpec]
 
 #: Fault-set count above which ``verify(mode="auto")`` samples instead of
 #: enumerating (exhaustive verification is exponential in r).
@@ -79,6 +84,9 @@ class Session:
         self._root = ensure_rng(seed)
         self._build_index = 0
         self._graphs_by_path: Dict[str, BaseGraph] = {}
+        #: Materialized HostSpec hosts, keyed by spec fingerprint — so
+        #: repeated builds on one spec share one instance (and snapshot).
+        self._graphs_by_host_spec: Dict[str, BaseGraph] = {}
         #: CSR snapshots built on behalf of this session's builds.
         self.snapshot_builds = 0
         #: Builds that found a still-valid snapshot already cached.
@@ -94,25 +102,39 @@ class Session:
     # -- host / seed resolution ---------------------------------------
 
     def resolve_graph(
-        self, spec: SpannerSpec, graph: Optional[BaseGraph] = None
+        self, spec: SpannerSpec, graph: Optional[HostLike] = None
     ) -> BaseGraph:
         """The host graph a build of ``spec`` would run on.
 
-        An explicit ``graph`` argument wins; otherwise the spec's binding
-        is used (instances directly; paths through the session's
-        per-path cache, so repeated builds share one loaded instance and
-        therefore one CSR snapshot).
+        An explicit ``graph`` argument wins (a :class:`BaseGraph` or a
+        :class:`repro.hosts.HostSpec`); otherwise the spec's binding is
+        used — instances directly, paths through the session's per-path
+        cache, and host specs through a per-fingerprint cache — so
+        repeated builds share one loaded instance and therefore one CSR
+        snapshot.
         """
         return self._resolve_graph(spec, graph)
 
+    def _materialize_host_spec(self, spec: HostSpec) -> BaseGraph:
+        key = spec.fingerprint()
+        cached = self._graphs_by_host_spec.get(key)
+        if cached is None:
+            cached = spec.materialize()
+            self._graphs_by_host_spec[key] = cached
+        return cached
+
     def _resolve_graph(
-        self, spec: SpannerSpec, graph: Optional[BaseGraph]
+        self, spec: SpannerSpec, graph: Optional[HostLike]
     ) -> BaseGraph:
         if graph is not None:
+            if isinstance(graph, HostSpec):
+                return self._materialize_host_spec(graph)
             return graph
         bound = spec.graph
         if isinstance(bound, BaseGraph):
             return bound
+        if isinstance(bound, HostSpec):
+            return self._materialize_host_spec(bound)
         if isinstance(bound, str):
             cached = self._graphs_by_path.get(bound)
             if cached is None:
@@ -121,8 +143,8 @@ class Session:
             return cached
         raise InvalidSpec(
             f"spec {spec.algorithm!r} has no host graph: bind one via "
-            "SpannerSpec(graph=...) (instance or JSON path) or pass "
-            "graph= to Session.build"
+            "SpannerSpec(graph=...) (instance, JSON path, or HostSpec) "
+            "or pass graph= to Session.build"
         )
 
     def _resolve_seed(self, spec: SpannerSpec) -> Optional[int]:
@@ -148,7 +170,7 @@ class Session:
     # -- building ------------------------------------------------------
 
     def build(
-        self, spec: SpannerSpec, graph: Optional[BaseGraph] = None
+        self, spec: SpannerSpec, graph: Optional[HostLike] = None
     ) -> BuildReport:
         """Execute one spec and return its :class:`BuildReport`.
 
@@ -194,7 +216,7 @@ class Session:
     def serve(
         self,
         spec: SpannerSpec,
-        graph: Optional[BaseGraph] = None,
+        graph: Optional[HostLike] = None,
         policy=None,
     ):
         """Start a :class:`repro.serve.SpannerService` on this session.
@@ -211,7 +233,7 @@ class Session:
         return SpannerService(host, spec, policy=policy, session=self)
 
     def build_many(
-        self, specs: Iterable[SpannerSpec], graph: Optional[BaseGraph] = None
+        self, specs: Iterable[SpannerSpec], graph: Optional[HostLike] = None
     ) -> List[BuildReport]:
         """Execute many specs, reusing host snapshots across builds.
 
@@ -259,7 +281,7 @@ class Session:
     def verify(
         self,
         report: BuildReport,
-        graph: Optional[BaseGraph] = None,
+        graph: Optional[HostLike] = None,
         mode: str = "auto",
         trials: int = 100,
         seed: int = 0,
@@ -327,7 +349,7 @@ class Session:
 
 def build(
     spec: SpannerSpec,
-    graph: Optional[BaseGraph] = None,
+    graph: Optional[HostLike] = None,
     seed: RandomLike = None,
 ) -> BuildReport:
     """One-shot convenience: ``Session(seed).build(spec, graph)``."""

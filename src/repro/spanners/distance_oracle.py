@@ -265,8 +265,13 @@ def build_distance_oracle(
         pick = rng.choice(vertices)
         for i in range(1, t):
             levels[i].add(pick)
-    resolved = resolve_method(method, graph.num_vertices)
-    if resolved == "csr" and not graph.directed and vertices:
+    # Same undirected-only compiled path as the TZ spanner: digraphs
+    # auto-dispatch to dict, explicit method="csr" raises.
+    resolved = resolve_method(
+        method, graph.num_vertices,
+        directed=graph.directed, directed_csr=False,
+    )
+    if resolved == "csr" and vertices:
         snap = snapshot(graph)
         if snap.scipy_kernels() is not None:
             return _build_oracle_csr(graph, t, vertices, levels)

@@ -578,14 +578,20 @@ def thorup_zwick_spanner(
     """
     if t < 1:
         raise InvalidStretch(f"hierarchy depth t must be >= 1, got {t}")
-    resolved = resolve_method(method, graph.num_vertices)
+    # TZ's compiled path needs reverse traversal the directed snapshot
+    # does not store: auto-dispatch runs digraphs on the dict path, and
+    # an explicit method="csr" on a digraph raises instead of degrading.
+    resolved = resolve_method(
+        method, graph.num_vertices,
+        directed=graph.directed, directed_csr=False,
+    )
     rng = ensure_rng(seed)
     vertices = list(graph.vertices())
     if not vertices:
         return type(graph)()
 
     levels = sample_hierarchy(vertices, t, rng, sample_probability)
-    if resolved == "csr" and not graph.directed:
+    if resolved == "csr":
         snap = snapshot(graph)
         if snap.scipy_kernels() is not None:
             return _thorup_zwick_csr(graph, t, vertices, levels)

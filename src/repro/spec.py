@@ -174,8 +174,10 @@ class SpannerSpec:
         the Theorem 2.1 conversion). Must be JSON-serializable.
     graph:
         Optional host binding: ``None`` (caller passes the graph to the
-        session), a ``str`` path to a graph JSON file, or an in-memory
-        :class:`repro.graph.graph.BaseGraph` (serialized inline).
+        session), a ``str`` path to a graph JSON file, an in-memory
+        :class:`repro.graph.graph.BaseGraph` (serialized inline), or a
+        :class:`repro.hosts.HostSpec` (serialized as its spec document
+        and materialized lazily by the executing session).
     """
 
     algorithm: str
@@ -212,10 +214,13 @@ class SpannerSpec:
         if self.graph is not None and not isinstance(
             self.graph, (str, BaseGraph)
         ):
-            raise InvalidSpec(
-                "graph must be None, a path str, or a repro graph instance, "
-                f"got {self.graph!r}"
-            )
+            from .hosts.spec import HostSpec  # deferred: hosts imports us
+
+            if not isinstance(self.graph, HostSpec):
+                raise InvalidSpec(
+                    "graph must be None, a path str, a repro graph instance, "
+                    f"or a HostSpec, got {self.graph!r}"
+                )
 
     # -- convenience --------------------------------------------------
 
@@ -262,10 +267,13 @@ class SpannerSpec:
             "params": dict(self.params),
         }
         if include_graph and self.graph is not None:
-            if isinstance(self.graph, str):
-                doc["graph"] = self.graph
+            if isinstance(self.graph, (str, BaseGraph)):
+                doc["graph"] = (
+                    self.graph if isinstance(self.graph, str)
+                    else graph_to_dict(self.graph)
+                )
             else:
-                doc["graph"] = graph_to_dict(self.graph)
+                doc["graph"] = self.graph.to_dict()  # HostSpec document
         return doc
 
     @classmethod
@@ -298,7 +306,12 @@ class SpannerSpec:
             raise InvalidSpec("spec document is missing the 'algorithm' key")
         graph = data.get("graph")
         if isinstance(graph, Mapping):
-            graph = graph_from_dict(dict(graph))
+            if graph.get("format") == "repro-host":
+                from .hosts.spec import HostSpec  # deferred: hosts imports us
+
+                graph = HostSpec.from_dict(graph)
+            else:
+                graph = graph_from_dict(dict(graph))
         return cls(
             algorithm=data["algorithm"],
             stretch=data.get("stretch", 3.0),

@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from .errors import InvalidSpec, SweepError
 from .graph.graph import BaseGraph
 from .graph.io import graph_from_dict, graph_to_dict, load_json
+from .hosts import HostSpec, get_host_generator, is_host_document
 from .registry import get_algorithm
 from .rng import RandomLike, ensure_rng
 from .spec import FAULT_KINDS, FaultModel, SpannerSpec
@@ -80,13 +81,25 @@ def parse_shard(text: str) -> Tuple[int, int]:
     return index, of
 
 
+def host_spec_key(spec: HostSpec) -> str:
+    """The canonical hosts-table key of a :class:`HostSpec` entry.
+
+    Generator name + content fingerprint: readable in plan documents and
+    stable across machines/hash seeds, so scheduler manifests built over
+    spec-carried hosts never churn.
+    """
+    return f"{spec.generator}-{spec.fingerprint()}"
+
+
 @dataclass(frozen=True)
 class SweepPlan:
     """An ordered spec list with shared host refs — the unit of sharding.
 
     ``specs`` carry no graph bindings of their own; ``host_keys[i]`` names
-    the entry of ``hosts`` that spec ``i`` runs on (a path string or an
-    inline :class:`repro.graph.graph.BaseGraph`). ``indices`` are the
+    the entry of ``hosts`` that spec ``i`` runs on (a path string, an
+    inline :class:`repro.graph.graph.BaseGraph`, or a
+    :class:`repro.hosts.HostSpec` materialized lazily — once per plan
+    instance, so per worker — on first use). ``indices`` are the
     positions in the *parent* plan (identity for a full plan), and
     ``shard_id`` / ``plan_fingerprint`` identify a shard's provenance so the
     merge layer can verify it recombines pieces of one plan.
@@ -124,10 +137,10 @@ class SweepPlan:
                     f"has {sorted(self.hosts)}"
                 )
         for key, host in self.hosts.items():
-            if not isinstance(host, (str, BaseGraph)):
+            if not isinstance(host, (str, BaseGraph, HostSpec)):
                 raise InvalidSpec(
-                    f"hosts[{key!r}] must be a path str or a repro graph, "
-                    f"got {host!r}"
+                    f"hosts[{key!r}] must be a path str, a repro graph, or "
+                    f"a HostSpec, got {host!r}"
                 )
         for spec in self.specs:
             if spec.graph is not None:
@@ -153,10 +166,11 @@ class SweepPlan:
     ) -> "SweepPlan":
         """Build a full plan, hoisting graph bindings into shared hosts.
 
-        Specs bound to the same in-memory graph instance (or the same
-        path) share one host entry; specs with no binding fall back to
-        the ``graph`` argument. Paths are kept as refs (workers load
-        them); instances are serialized inline exactly once.
+        Specs bound to the same in-memory graph instance, the same path,
+        or an equal :class:`repro.hosts.HostSpec` share one host entry;
+        specs with no binding fall back to the ``graph`` argument. Paths
+        and host specs are kept as refs (workers load/materialize them);
+        instances are serialized inline exactly once.
         """
         bindings: List[Any] = []
         for position, spec in enumerate(specs):
@@ -168,19 +182,24 @@ class SweepPlan:
                     "SweepPlan.build"
                 )
             bindings.append(bound)
-        # Path hosts claim their keys (the path itself) first; inline
-        # instances then pick generated names around them, so a path that
-        # happens to be called "host-0" can never collide with (or be
-        # clobbered by) a generated inline key.
+        # Path and host-spec hosts claim their (content-derived) keys
+        # first; inline instances then pick generated names around them,
+        # so a path that happens to be called "host-0" can never collide
+        # with (or be clobbered by) a generated inline key.
         hosts: Dict[str, Any] = {
             bound: bound for bound in bindings if isinstance(bound, str)
         }
+        for bound in bindings:
+            if isinstance(bound, HostSpec):
+                hosts[host_spec_key(bound)] = bound
         keys_by_id: Dict[int, str] = {}
         counter = 0
         host_keys: List[str] = []
         for bound in bindings:
             if isinstance(bound, str):
                 key = bound
+            elif isinstance(bound, HostSpec):
+                key = host_spec_key(bound)
             else:
                 key = keys_by_id.get(id(bound))
                 if key is None:
@@ -226,15 +245,43 @@ class SweepPlan:
         return tuple(range(len(self.specs)))
 
     def host_graph(self, key: str) -> BaseGraph:
-        """The host graph behind ``key`` (paths loaded once per plan)."""
+        """The host graph behind ``key``.
+
+        Paths are loaded and :class:`repro.hosts.HostSpec` entries are
+        materialized once per plan instance — so lazily, once per
+        worker, never at plan-construction or serialization time.
+        """
         host = self.hosts[key]
         if isinstance(host, BaseGraph):
             return host
         cached = self._graph_cache.get(key)
         if cached is None:
-            cached = load_json(host)
+            cached = (
+                host.materialize() if isinstance(host, HostSpec)
+                else load_json(host)
+            )
             self._graph_cache[key] = cached
         return cached
+
+    def _host_fingerprint_doc(self, key: str) -> Dict[str, Any]:
+        """What one host contributes to :meth:`fingerprint`.
+
+        Spec-carried hosts hash by their *spec document* — no
+        materialization, so scheduler manifests over generated hosts are
+        computed instantly and stay stable across machines. The corpus
+        loader additionally mixes in the file's content digest (the spec
+        names a path; the fingerprint must pin the data behind it).
+        Graph and path hosts hash by loaded graph content, as before.
+        """
+        host = self.hosts[key]
+        if isinstance(host, HostSpec):
+            doc = host.to_dict()
+            if host.generator == "corpus":
+                from .hosts.builtin import corpus_content_digest
+
+                doc["content"] = corpus_content_digest(str(host.param("path")))
+            return doc
+        return graph_to_dict(self.host_graph(key))
 
     def fingerprint(self) -> str:
         """Stable digest identifying the (parent) plan *and its hosts*.
@@ -245,6 +292,8 @@ class SweepPlan:
         graph *content*, not the path string: shards of nominally the
         same plan run against divergent copies of ``host.json`` on two
         machines must refuse to merge, not silently mix graphs.
+        Spec-carried hosts are hashed by spec (see
+        :meth:`_host_fingerprint_doc`).
         """
         if self.plan_fingerprint is not None:
             return self.plan_fingerprint
@@ -254,7 +303,7 @@ class SweepPlan:
         doc.pop("plan", None)
         doc.pop("plan_size", None)
         doc["hosts"] = {
-            key: graph_to_dict(self.host_graph(key)) for key in self.hosts
+            key: self._host_fingerprint_doc(key) for key in self.hosts
         }
         blob = json.dumps(doc, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()[:16]
@@ -349,7 +398,11 @@ class SweepPlan:
             "version": SWEEP_VERSION,
             "name": self.name,
             "hosts": {
-                key: host if isinstance(host, str) else graph_to_dict(host)
+                key: (
+                    host if isinstance(host, str)
+                    else host.to_dict() if isinstance(host, HostSpec)
+                    else graph_to_dict(host)
+                )
                 for key, host in self.hosts.items()
             },
             "specs": [
@@ -395,9 +448,12 @@ class SweepPlan:
             raise InvalidSpec(f"plan hosts must be a mapping, got {hosts_doc!r}")
         hosts: Dict[str, Any] = {}
         for key, host in hosts_doc.items():
-            hosts[key] = (
-                graph_from_dict(dict(host)) if isinstance(host, Mapping) else host
-            )
+            if is_host_document(host):
+                hosts[key] = HostSpec.from_dict(dict(host))
+            elif isinstance(host, Mapping):
+                hosts[key] = graph_from_dict(dict(host))
+            else:
+                hosts[key] = host
         specs: List[SpannerSpec] = []
         host_keys: List[str] = []
         for entry in data.get("specs", []):
@@ -814,11 +870,31 @@ def _fault_model(kind: str, r: int) -> FaultModel:
     return FaultModel(kind, r)
 
 
+def _host_algorithm_reason(host: Any, info: Any) -> Optional[str]:
+    """Why ``host`` cannot feed algorithm ``info``, or ``None``.
+
+    Spec-carried hosts answer from their registered capabilities
+    (:meth:`repro.hosts.HostInfo.unsupported_reason`) without being
+    materialized; inline graphs answer from the instance. Path hosts
+    (and ``corpus`` specs, whose directedness depends on the file) pass
+    — their mismatches surface at build time through the session's
+    capability check.
+    """
+    if isinstance(host, HostSpec):
+        return get_host_generator(host.generator).unsupported_reason(info)
+    if isinstance(host, BaseGraph) and host.directed and not info.directed:
+        return (
+            f"host is directed but algorithm {info.name!r} only serves "
+            "undirected hosts"
+        )
+    return None
+
+
 def emit_grid_plan(
     algorithms: Sequence[str],
     stretches: Sequence[float],
     rs: Sequence[int],
-    hosts: Mapping[str, Any],
+    hosts: Optional[Mapping[str, Any]] = None,
     fault_kind: str = "vertex",
     seeds: int = 1,
     seed_base: int = 0,
@@ -826,12 +902,23 @@ def emit_grid_plan(
     params: Optional[Mapping[str, Any]] = None,
     name: str = "sweep",
     skip_unsupported: bool = False,
+    topologies: Optional[Sequence[Any]] = None,
 ) -> SweepPlan:
     """Emit a resolved plan over the ``(host, algorithm, k, r, seed)`` grid.
 
-    Every point is checked against the registry's machine-readable
-    capability flags (:meth:`repro.registry.AlgorithmInfo
-    .unsupported_reason`): out-of-domain points raise
+    Hosts come from the explicit ``hosts`` mapping (paths / graphs /
+    :class:`repro.hosts.HostSpec` values under caller-chosen keys), the
+    ``topologies`` axis (``HostSpec`` values — or bare generator names
+    for parameter-free families — keyed by :func:`host_spec_key`), or
+    both.
+
+    Every point is checked against the machine-readable capability flags
+    of *both* registries: algorithm-side
+    (:meth:`repro.registry.AlgorithmInfo.unsupported_reason` over
+    ``(fault kind, r, stretch)``) and host-side
+    (:meth:`repro.hosts.HostInfo.unsupported_reason` — a directed-only
+    host refuses an undirected-only builder before anything is
+    materialized). Out-of-domain points raise
     :class:`repro.errors.InvalidSpec` naming the point and the reason —
     or are dropped under ``skip_unsupported`` (the coverage-matrix
     behaviour), with every dropped point and its reason recorded on the
@@ -842,8 +929,21 @@ def emit_grid_plan(
     """
     if not algorithms:
         raise InvalidSpec("emit_grid_plan needs at least one algorithm")
-    if not hosts:
-        raise InvalidSpec("emit_grid_plan needs at least one host")
+    all_hosts: Dict[str, Any] = dict(hosts or {})
+    for topology in topologies or ():
+        spec = topology if isinstance(topology, HostSpec) else HostSpec(topology)
+        get_host_generator(spec.generator).validate(spec)  # eager, pre-worker
+        key = host_spec_key(spec)
+        existing = all_hosts.get(key)
+        if existing is not None and existing != spec:
+            raise InvalidSpec(
+                f"topology key {key!r} collides with an existing host entry"
+            )
+        all_hosts[key] = spec
+    if not all_hosts:
+        raise InvalidSpec(
+            "emit_grid_plan needs at least one host (hosts= or topologies=)"
+        )
     if fault_kind not in FAULT_KINDS:
         raise InvalidSpec(
             f"fault kind must be one of {FAULT_KINDS}, got {fault_kind!r}"
@@ -858,9 +958,19 @@ def emit_grid_plan(
     specs: List[SpannerSpec] = []
     host_keys: List[str] = []
     skipped: List[str] = []
-    for host_key in hosts:
+    for host_key in all_hosts:
         for algorithm in algorithms:
             info = get_algorithm(algorithm)
+            host_reason = _host_algorithm_reason(all_hosts[host_key], info)
+            if host_reason is not None:
+                point = f"(host={host_key}, algorithm={algorithm})"
+                if skip_unsupported:
+                    skipped.append(f"{point}: {host_reason}")
+                    continue
+                raise InvalidSpec(
+                    f"grid point {point} is unsupported: {host_reason}; "
+                    "drop it from the grid or pass skip_unsupported"
+                )
             for stretch in stretches:
                 for r in rs:
                     kind = "none" if r == 0 else fault_kind
@@ -894,10 +1004,11 @@ def emit_grid_plan(
             "the parameter grid produced no supported spec points"
             + (f" (skipped: {'; '.join(skipped)})" if skipped else "")
         )
+    used = set(host_keys)
     return SweepPlan(
         specs=tuple(specs),
         host_keys=tuple(host_keys),
-        hosts=dict(hosts),
+        hosts={k: v for k, v in all_hosts.items() if k in used},
         name=name,
         skipped=tuple(skipped),
     )
@@ -939,6 +1050,7 @@ __all__ = [
     "SweepPlan",
     "coverage_matrix",
     "emit_grid_plan",
+    "host_spec_key",
     "load_shard_report",
     "run_shard",
     "run_sweep",

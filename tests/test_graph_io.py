@@ -109,9 +109,22 @@ class TestEdgeListRoundTrip:
         buffer.seek(0)
         assert load_edge_list(buffer).has_vertex(7)
 
-    def test_header_required(self):
-        with pytest.raises(GraphError):
-            load_edge_list(io.StringIO("1 2 1.0\n"))
+    def test_headerless_loads_undirected(self):
+        g = load_edge_list(io.StringIO("1 2 1.0\n2 3\n"))
+        assert not g.directed
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert g.weight(2, 3) == 1.0
+
+    def test_directed_comment(self):
+        g = load_edge_list(io.StringIO("# directed\n1 2\n"))
+        assert g.directed
+        assert g.has_edge(1, 2) and not g.has_edge(2, 1)
+
+    def test_comments_and_blanks_tolerated(self):
+        text = "\n# a comment\n1 2 2.5\n\n# another\n# vertex 9\n"
+        g = load_edge_list(io.StringIO(text))
+        assert g.weight(1, 2) == 2.5
+        assert g.has_vertex(9)
 
     def test_whitespace_label_rejected(self):
         g = Graph()
@@ -119,10 +132,22 @@ class TestEdgeListRoundTrip:
         with pytest.raises(GraphError):
             dump_edge_list(g, io.StringIO())
 
-    def test_malformed_line(self):
-        text = "# repro-edge-list graph\n1 2\n"
-        with pytest.raises(GraphError):
+    def test_malformed_line_names_line_number(self):
+        text = "# repro-edge-list graph\n1 2\n1 2 3 4\n"
+        with pytest.raises(GraphError, match="line 3"):
             load_edge_list(io.StringIO(text))
+
+    def test_bad_weight_names_line_number(self):
+        with pytest.raises(GraphError, match="line 2.*weight"):
+            load_edge_list(io.StringIO("1 2\n2 3 heavy\n"))
+
+    def test_directed_after_edges_rejected(self):
+        with pytest.raises(GraphError, match="line 2"):
+            load_edge_list(io.StringIO("1 2\n# directed\n"))
+
+    def test_bad_header_kind_rejected(self):
+        with pytest.raises(GraphError, match="line 1"):
+            load_edge_list(io.StringIO("# repro-edge-list multigraph\n1 2\n"))
 
 
 class TestDot:
