@@ -47,6 +47,8 @@ def smoke_rows() -> list:
         bench.bench_decomposition(n=160, p=0.06),
         bench.bench_lp_assembly(n=40),
         bench.bench_engine_rounds(n=160, p=0.08, rounds=16),
+        bench.bench_edge_conversion(n=160, p=0.08, iters=8),
+        bench.bench_distributed_ft(n=96, p=0.1, iters=4),
     ]
 
 

@@ -55,7 +55,7 @@ from .errors import (
     UnknownAlgorithm,
     UnknownHostGenerator,
 )
-from .graph import DiGraph, Graph
+from .graph import DiGraph, FaultScenario, Graph, SurvivorView
 from .hosts import (
     HostInfo,
     HostSpec,
@@ -110,6 +110,7 @@ __all__ = [
     "ChaosInjector",
     "DiGraph",
     "FaultModel",
+    "FaultScenario",
     "Graph",
     "HostInfo",
     "HostSpec",
@@ -121,6 +122,7 @@ __all__ = [
     "SpannerService",
     "SpannerSpec",
     "SpecError",
+    "SurvivorView",
     "SweepPlan",
     "UnknownAlgorithm",
     "UnknownHostGenerator",

@@ -41,6 +41,7 @@ from typing import Hashable, Set
 from ..errors import FaultToleranceError
 from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import BaseGraph
+from ..graph.scenario import scenario_fault_sets
 from ..registry import register_algorithm
 from ..rng import RandomLike, ensure_rng
 from ..spanners.thorup_zwick import (
@@ -52,11 +53,6 @@ from ..spanners.thorup_zwick import (
     sample_hierarchy,
 )
 from .verify import count_fault_sets, fault_sets
-
-try:
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised only on stripped images
-    _np = None
 
 Vertex = Hashable
 
@@ -78,13 +74,13 @@ class CLPRResult:
 
 
 def _clpr_dict(
-    graph: BaseGraph, t: int, r: int, vertices, shared_levels, rng
+    graph: BaseGraph, t: int, fault_iter, vertices, shared_levels, rng
 ) -> CLPRResult:
     """Reference per-fault-set dict pipeline."""
     union = type(graph)()
     union.add_vertices(vertices)
     processed = 0
-    for faults in fault_sets(vertices, r):
+    for faults in fault_iter:
         fault_set = set(faults)
         sub = graph.without_vertices(fault_set)
         order = _vertex_order(sub)
@@ -107,25 +103,25 @@ def _clpr_dict(
 
 
 def _clpr_csr(
-    graph: BaseGraph, t: int, r: int, vertices, shared_levels, rng
+    graph: BaseGraph, t: int, fault_iter, vertices, shared_levels, rng
 ) -> CLPRResult:
-    """One snapshot; per fault set a masked weight vector + kernel passes."""
-    np = _np
+    """One snapshot; per fault set a masked SurvivorView + kernel passes."""
     snap = snapshot(graph)
     kernels = snap.scipy_kernels()
     index = snap.index
-    _indptr, _nbr, wt, _eid, _deg = snap.half_arrays_np()
     n = snap.num_vertices
     chosen: Set[int] = set()
     processed = 0
-    for faults in fault_sets(vertices, r):
+    for faults in fault_iter:
         fault_set = set(faults)
         fidx = [index[f] for f in faults]
         if fidx:
-            data = wt.copy()
-            data[kernels.incident_half_positions(fidx)] = _np.inf
-            alive_np = np.ones(n, dtype=bool)
-            alive_np[fidx] = False
+            alive = [True] * n
+            for j in fidx:
+                alive[j] = False
+            view = snap.survivor_view(alive)
+            data = view.masked_weights()
+            alive_np = view.alive_np()
         else:
             data = None
             alive_np = None
@@ -162,6 +158,7 @@ def clpr_fault_tolerant_spanner(
     max_fault_sets: int = MAX_FAULT_SETS,
     *,
     method: str = "auto",
+    scenarios=None,
 ) -> CLPRResult:
     """Union-over-fault-sets construction in the style of [CLPR09].
 
@@ -183,13 +180,29 @@ def clpr_fault_tolerant_spanner(
         ``"auto"`` (default), ``"csr"``, or ``"dict"`` — see
         :func:`repro.graph.csr.resolve_method`. Both paths produce the
         same union spanner for a fixed seed.
+    scenarios:
+        Optional explicit fault sets to union over instead of the full
+        ``<= r`` enumeration: a sequence of
+        :class:`repro.graph.scenario.FaultScenario` values (kind
+        ``"none"``/``"vertex"``) or raw vertex iterables. The ``r`` bound
+        still caps each scenario's size.
     """
     if t < 1:
         raise FaultToleranceError(f"t must be >= 1, got {t}")
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
     n = graph.num_vertices
-    total = count_fault_sets(n, r)
+    vertices = list(graph.vertices())
+    if scenarios is not None:
+        fault_sets_seq = scenario_fault_sets(scenarios)
+        for faults in fault_sets_seq:
+            if len(faults) > r:
+                raise FaultToleranceError(
+                    f"scenario faults {len(faults)} exceed the tolerance r={r}"
+                )
+        total = len(fault_sets_seq)
+    else:
+        total = count_fault_sets(n, r)
     if total > max_fault_sets:
         raise FaultToleranceError(
             f"enumerating {total} fault sets exceeds the limit {max_fault_sets}; "
@@ -201,14 +214,18 @@ def clpr_fault_tolerant_spanner(
         method, n, directed=graph.directed, directed_csr=False
     )
     rng = ensure_rng(seed)
-    vertices = list(graph.vertices())
     shared_levels = sample_hierarchy(vertices, t, rng) if shared_randomness else None
+
+    def fault_iter():
+        if scenarios is not None:
+            return iter(fault_sets_seq)
+        return fault_sets(vertices, r)
 
     if resolved == "csr" and vertices:
         snap = snapshot(graph)
         if snap.scipy_kernels() is not None:
-            return _clpr_csr(graph, t, r, vertices, shared_levels, rng)
-    return _clpr_dict(graph, t, r, vertices, shared_levels, rng)
+            return _clpr_csr(graph, t, fault_iter(), vertices, shared_levels, rng)
+    return _clpr_dict(graph, t, fault_iter(), vertices, shared_levels, rng)
 
 
 @register_algorithm(

@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, List, Optional, Sequence, Set
 
 from ..errors import FaultToleranceError, InvalidSpec, InvalidStretch
-from ..graph.csr import snapshot
+from ..graph.csr import SurvivorView, snapshot
 from ..graph.graph import BaseGraph
+from ..graph.scenario import FaultScenario
 from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.bounds import conversion_iterations, conversion_iterations_light
@@ -164,19 +165,29 @@ class _OversamplingEngine:
         self.kernel = IndexedGreedyKernel(self.csr.num_vertices, self.csr.directed)
         self.union_ids: Set[int] = set()
 
-    def iterate(self, alive: Sequence) -> List[int]:
-        """Run one oversampling iteration under survivor mask ``alive``.
+    def iterate(self, view) -> List[int]:
+        """Run one oversampling iteration on a survivor view.
 
-        Returns the iteration's chosen edge ids (the base spanner of
-        ``G \\ J``); they are also merged into :attr:`union_ids`.
+        ``view`` is a :class:`repro.graph.csr.SurvivorView` over this
+        engine's snapshot (vertex- and/or edge-masked — both fault kinds
+        ride the same code path) or a raw vertex survivor mask. Returns
+        the iteration's chosen edge ids (the base spanner of ``G \\ J``);
+        they are also merged into :attr:`union_ids`.
         """
         csr = self.csr
-        surviving = csr.filter_edge_ids(self.sorted_ids, alive)
+        if isinstance(view, SurvivorView):
+            surviving = view.filter_edge_ids(self.sorted_ids)
+        else:
+            surviving = csr.filter_edge_ids(self.sorted_ids, view)
         chosen = self.kernel.run_edge_ids(
             surviving, csr.edge_u, csr.edge_v, csr.edge_w, self.k
         )
         self.union_ids.update(chosen)
         return chosen
+
+    def _account(self, chosen: List[int], stats: "ConversionStats") -> None:
+        stats.iteration_edge_counts.append(len(chosen))
+        stats.union_edge_counts.append(len(self.union_ids))
 
     def step(self, it_rng, p_survive: float, stats: "ConversionStats") -> List[int]:
         """One full Theorem 2.1 iteration: draw survivors, build, account.
@@ -187,9 +198,44 @@ class _OversamplingEngine:
         """
         alive = [it_rng.random() < p_survive for _ in self.csr.verts]
         stats.survivor_sizes.append(sum(alive))
-        chosen = self.iterate(alive)
-        stats.iteration_edge_counts.append(len(chosen))
-        stats.union_edge_counts.append(len(self.union_ids))
+        chosen = self.iterate(self.csr.survivor_view(alive))
+        self._account(chosen, stats)
+        return chosen
+
+    def edge_step(self, it_rng, p_survive: float, stats: "ConversionStats") -> List[int]:
+        """One Theorem 2.3-style edge-oversampling iteration.
+
+        Consumes one draw per *edge*, in the host's ``edges()`` order
+        (edge-id order) — exactly the stream the dict pipeline's
+        survivor comprehension draws — and runs the kernel on an
+        edge-masked view of the same host snapshot. ``survivor_sizes``
+        records surviving *edge* counts, matching the dict pipeline's
+        ``sub.num_edges`` accounting.
+        """
+        edge_alive = [
+            it_rng.random() < p_survive for _ in range(self.csr.num_edges)
+        ]
+        stats.survivor_sizes.append(sum(edge_alive))
+        chosen = self.iterate(self.csr.survivor_view(edge_alive=edge_alive))
+        self._account(chosen, stats)
+        return chosen
+
+    def scenario_step(
+        self, scenario, stats: "ConversionStats", *, count_edges: bool = False
+    ) -> List[int]:
+        """One iteration on an explicit :class:`FaultScenario` (no RNG).
+
+        ``count_edges`` makes ``survivor_sizes`` record surviving *edge*
+        counts even for a ``kind="none"`` scenario — the edge pipeline's
+        accounting convention.
+        """
+        view = self.csr.survivor_view(scenario)
+        stats.survivor_sizes.append(
+            view.num_surviving_edges if count_edges or scenario.kind == "edge"
+            else view.num_surviving_vertices
+        )
+        chosen = self.iterate(view)
+        self._account(chosen, stats)
         return chosen
 
     def add_new_edges_to(self, union: BaseGraph, chosen, materialized: Set[int]) -> None:
@@ -230,6 +276,7 @@ def fault_tolerant_spanner(
     seed: RandomLike = None,
     survival_prob: Optional[float] = None,
     method: str = "auto",
+    scenarios: Optional[Sequence[FaultScenario]] = None,
 ) -> ConversionResult:
     """Build an r-fault-tolerant k-spanner via the Theorem 2.1 conversion.
 
@@ -266,6 +313,14 @@ def fault_tolerant_spanner(
         default greedy base runs on the CSR engine unless
         ``method="dict"`` forces the reference pipeline; custom base
         algorithms receive ``method=`` when their signature accepts it.
+    scenarios:
+        Optional explicit list of :class:`repro.graph.scenario
+        .FaultScenario` values (kind ``"none"``/``"vertex"``) to replay
+        instead of sampling: the iteration count becomes
+        ``len(scenarios)``, no randomness is consumed, and each
+        iteration builds the base spanner of that scenario's survivor
+        graph. This is how a sweep replays the exact fault draws of a
+        recorded run (see :meth:`repro.session.Session.scenario`).
 
     Returns
     -------
@@ -287,11 +342,26 @@ def fault_tolerant_spanner(
     use_engine = base_algorithm is greedy_spanner and method != "dict"
     base_algorithm = base_algorithm_caller(base_algorithm, method)
 
+    if scenarios is not None:
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise FaultToleranceError("scenarios must be a non-empty sequence")
+        for sc in scenarios:
+            if not isinstance(sc, FaultScenario):
+                raise FaultToleranceError(
+                    f"scenarios must hold FaultScenario values, got {sc!r}"
+                )
+            if sc.kind == "edge":
+                raise FaultToleranceError(
+                    "the vertex-fault conversion got an edge scenario; "
+                    "use edge_fault_tolerant_spanner for kind='edge'"
+                )
+
     union = type(graph)()
     union.add_vertices(graph.vertices())
     n = graph.num_vertices
 
-    if r == 0:
+    if r == 0 and scenarios is None:
         base = base_algorithm(graph, k)
         for u, v, w in base.edges():
             union.add_edge(u, v, w)
@@ -303,7 +373,10 @@ def fault_tolerant_spanner(
         )
         return ConversionResult(spanner=union, stats=stats)
 
-    alpha = resolve_iterations(n, r, iterations, schedule, constant)
+    if scenarios is not None:
+        alpha = len(scenarios)
+    else:
+        alpha = resolve_iterations(n, r, iterations, schedule, constant)
     p_survive = (
         survival_prob if survival_prob is not None else survival_probability(r)
     )
@@ -312,16 +385,23 @@ def fault_tolerant_spanner(
     vertices = list(graph.vertices())
 
     # The default greedy base runs on the CSR fast path: one host
-    # snapshot, per-iteration survivor bitmasks, integer edge-id union.
+    # snapshot, per-iteration survivor views, integer edge-id union.
     # Custom base algorithms still get the dict pipeline below.
     engine = _OversamplingEngine(graph, k) if use_engine else None
 
     for i in range(alpha):
-        it_rng = derive_rng(rng, i)
-        if engine is not None:
-            engine.step(it_rng, p_survive, stats)
-            continue
-        survivors = [v for v in vertices if it_rng.random() < p_survive]
+        if scenarios is not None:
+            if engine is not None:
+                engine.scenario_step(scenarios[i], stats)
+                continue
+            fault = scenarios[i].fault_set()
+            survivors = [v for v in vertices if v not in fault]
+        else:
+            it_rng = derive_rng(rng, i)
+            if engine is not None:
+                engine.step(it_rng, p_survive, stats)
+                continue
+            survivors = [v for v in vertices if it_rng.random() < p_survive]
         sub = graph.induced_subgraph(survivors)
         stats.survivor_sizes.append(sub.num_vertices)
         base = base_algorithm(sub, k)

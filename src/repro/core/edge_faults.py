@@ -36,6 +36,7 @@ from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..errors import FaultToleranceError, InvalidStretch
 from ..graph.graph import BaseGraph
 from ..graph.paths import dijkstra
+from ..graph.scenario import FaultScenario
 from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.greedy import greedy_spanner
@@ -43,6 +44,7 @@ from .conversion import (
     BaseSpannerAlgorithm,
     ConversionResult,
     ConversionStats,
+    _OversamplingEngine,
     base_algorithm_caller,
     conversion_stats_dict,
     resolve_base_algorithm,
@@ -86,6 +88,7 @@ def edge_fault_tolerant_spanner(
     constant: float = 16.0,
     seed: RandomLike = None,
     method: str = "auto",
+    scenarios: Optional[Sequence[FaultScenario]] = None,
 ) -> ConversionResult:
     """Theorem 2.1 conversion against *edge* faults.
 
@@ -96,7 +99,15 @@ def edge_fault_tolerant_spanner(
     per-pair success probability here is ``(1/r)(1-1/r)^r``, one ``1/r``
     factor better than the vertex case's ``(1/r)²(1-1/r)^r``. ``method``
     is threaded through to the base algorithm (see
-    :func:`repro.core.conversion.base_algorithm_caller`).
+    :func:`repro.core.conversion.base_algorithm_caller`); with the
+    default greedy base and any non-``"dict"`` method the whole loop
+    runs on edge-masked :class:`repro.graph.csr.SurvivorView`\\ s of one
+    host snapshot — no ``edge_subgraph`` is ever materialized.
+
+    ``scenarios`` optionally supplies an explicit list of
+    :class:`repro.graph.scenario.FaultScenario` values (kind ``"none"``
+    or ``"edge"``) to replay instead of sampling: the iteration count
+    becomes ``len(scenarios)`` and no randomness is consumed.
     """
     if k < 1:
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
@@ -106,13 +117,28 @@ def edge_fault_tolerant_spanner(
         raise FaultToleranceError(
             f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
         )
+    if scenarios is not None:
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise FaultToleranceError("scenarios must be a non-empty sequence")
+        for sc in scenarios:
+            if not isinstance(sc, FaultScenario):
+                raise FaultToleranceError(
+                    f"scenarios must hold FaultScenario values, got {sc!r}"
+                )
+            if sc.kind == "vertex":
+                raise FaultToleranceError(
+                    "the edge-fault conversion got a vertex scenario; "
+                    "use fault_tolerant_spanner for kind='vertex'"
+                )
+    use_engine = base_algorithm is greedy_spanner and method != "dict"
     base_algorithm = base_algorithm_caller(base_algorithm, method)
 
     union = type(graph)()
     union.add_vertices(graph.vertices())
     n = graph.num_vertices
 
-    if r == 0:
+    if r == 0 and scenarios is None:
         base = base_algorithm(graph, k)
         for u, v, w in base.edges():
             union.add_edge(u, v, w)
@@ -124,15 +150,36 @@ def edge_fault_tolerant_spanner(
         )
         return ConversionResult(spanner=union, stats=stats)
 
-    alpha = resolve_iterations(n, r, iterations, schedule, constant)
+    if scenarios is not None:
+        alpha = len(scenarios)
+    else:
+        alpha = resolve_iterations(n, r, iterations, schedule, constant)
     p_survive = survival_probability(r)
     rng = ensure_rng(seed)
     stats = ConversionStats(iterations=alpha)
     edges = [(u, v) for u, v, _w in graph.edges()]
 
+    # With the default greedy base the loop shares the vertex pipeline's
+    # oversampling engine: one host snapshot, per-iteration edge-masked
+    # views, integer edge-id union. Custom bases keep the dict pipeline.
+    engine = _OversamplingEngine(graph, k) if use_engine else None
+
     for i in range(alpha):
-        it_rng = derive_rng(rng, i)
-        surviving_edges = [e for e in edges if it_rng.random() < p_survive]
+        if scenarios is not None:
+            if engine is not None:
+                engine.scenario_step(scenarios[i], stats, count_edges=True)
+                continue
+            fault = scenarios[i].edge_fault_set()
+            surviving_edges = [
+                e for e in edges
+                if e not in fault and (e[1], e[0]) not in fault
+            ]
+        else:
+            it_rng = derive_rng(rng, i)
+            if engine is not None:
+                engine.edge_step(it_rng, p_survive, stats)
+                continue
+            surviving_edges = [e for e in edges if it_rng.random() < p_survive]
         sub = graph.edge_subgraph(surviving_edges)
         # survivor_sizes records the analogous quantity: surviving edges.
         stats.survivor_sizes.append(sub.num_edges)
@@ -142,6 +189,8 @@ def edge_fault_tolerant_spanner(
             union.add_edge(u, v, w)
         stats.union_edge_counts.append(union.num_edges)
 
+    if engine is not None:
+        union = engine.union_graph()
     return ConversionResult(spanner=union, stats=stats)
 
 
@@ -174,19 +223,39 @@ def is_edge_fault_tolerant_spanner(
     graph: BaseGraph,
     k: float,
     r: int,
+    scenarios: Optional[Iterable] = None,
+    *,
     fault_sets_to_check: Optional[Iterable[Iterable[EdgeKey]]] = None,
 ) -> bool:
     """Exhaustive r-edge-fault-tolerance verification.
 
-    Enumerates every edge subset of size <= r unless given explicit sets;
-    callers must keep ``C(m, r)`` small.
+    Enumerates every edge subset of size <= r unless ``scenarios`` gives
+    explicit sets (:class:`repro.graph.scenario.FaultScenario` values of
+    kind ``"none"``/``"edge"``, or raw edge-tuple iterables); callers
+    must keep ``C(m, r)`` small. ``fault_sets_to_check`` is the
+    deprecated name for the same parameter and warns once per call site.
     """
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
-    if fault_sets_to_check is None:
+    if fault_sets_to_check is not None:
+        import warnings
+
+        warnings.warn(
+            "fault_sets_to_check is deprecated; pass scenarios= "
+            "(FaultScenario values or raw edge iterables)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if scenarios is None:
+            scenarios = fault_sets_to_check
+    if scenarios is None:
         edges = [(u, v) for u, v, _w in graph.edges()]
-        fault_sets_to_check = edge_fault_sets(edges, r)
-    for faults in fault_sets_to_check:
+        to_check: Iterable = edge_fault_sets(edges, r)
+    else:
+        from ..graph.scenario import scenario_edge_fault_sets
+
+        to_check = scenario_edge_fault_sets(scenarios)
+    for faults in to_check:
         if not _edge_spanner_holds(spanner, graph, k, faults):
             return False
     return True
@@ -246,10 +315,9 @@ def is_edge_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
     weighted=True,
     directed=True,
     fault_tolerant=True,
-    # Rides greedy's indexed kernel per survivor graph but never reads a
-    # host CSR snapshot (edge subgraphs are materialized as dicts), so
-    # sessions should not prime one.
-    csr_path=False,
+    # The default greedy base runs every iteration on edge-masked views
+    # of one host CSR snapshot, so sessions should prime it.
+    csr_path=True,
     fault_kinds=("none", "edge"),
 )
 def _registry_build(graph: BaseGraph, spec, seed):
@@ -270,7 +338,8 @@ def _registry_build(graph: BaseGraph, spec, seed):
     )
     stats = conversion_stats_dict(result.stats)
     if spec.param("base_algorithm", "greedy") == "greedy":
-        # Each survivor graph is spanned by greedy's indexed kernel
-        # (size-independent) unless the dict reference was forced.
-        stats["resolved_method"] = "dict" if spec.method == "dict" else "indexed"
+        # The greedy base runs the oversampling engine on edge-masked
+        # views of the host snapshot (size-independent) unless the dict
+        # reference was forced.
+        stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
     return result, stats

@@ -81,19 +81,40 @@ def is_fault_tolerant_spanner(
     graph: BaseGraph,
     k: float,
     r: int,
+    scenarios: Optional[Iterable] = None,
+    *,
     fault_sets_to_check: Optional[Iterable[Iterable[Vertex]]] = None,
 ) -> bool:
     """Exhaustively verify that ``spanner`` is an r-fault-tolerant k-spanner.
 
-    With ``fault_sets_to_check`` given, only those fault sets are verified
-    (used by the Monte Carlo wrapper and by targeted tests); otherwise all
-    ``sum_{i<=r} C(n, i)`` fault sets are enumerated.
+    With ``scenarios`` given — a sequence of
+    :class:`repro.graph.scenario.FaultScenario` values (kind
+    ``"none"``/``"vertex"``) or raw vertex iterables — only those fault
+    sets are verified (used by the Monte Carlo wrapper and by targeted
+    tests); otherwise all ``sum_{i<=r} C(n, i)`` fault sets are
+    enumerated. ``fault_sets_to_check`` is the deprecated name for the
+    same parameter and warns once per call site.
     """
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
-    if fault_sets_to_check is None:
-        fault_sets_to_check = fault_sets(list(graph.vertices()), r)
-    for faults in fault_sets_to_check:
+    if fault_sets_to_check is not None:
+        import warnings
+
+        warnings.warn(
+            "fault_sets_to_check is deprecated; pass scenarios= "
+            "(FaultScenario values or raw vertex iterables)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if scenarios is None:
+            scenarios = fault_sets_to_check
+    if scenarios is None:
+        to_check: Iterable = fault_sets(list(graph.vertices()), r)
+    else:
+        from ..graph.scenario import scenario_fault_sets
+
+        to_check = scenario_fault_sets(scenarios)
+    for faults in to_check:
         if not _spanner_holds_after_faults(spanner, graph, k, faults):
             return False
     return True

@@ -22,6 +22,7 @@ from typing import Hashable, List, Optional
 
 from ..core.conversion import resolve_iterations, survival_probability
 from ..errors import DistributedError
+from ..graph.csr import resolve_method, snapshot
 from ..graph.graph import Graph
 from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
@@ -62,9 +63,15 @@ def distributed_ft_spanner(
     ``k`` here is the Baswana–Sen level count (stretch ``2k - 1``). The
     default schedule is "light" (``r² log n``) because the simulator runs
     every round explicitly; pass ``schedule="theorem"`` for the full
-    ``r³ log n`` of the statement. ``method`` selects the simulator
-    execution path for every per-iteration run (seed-identical paths,
-    resolved per survivor subgraph under ``"auto"``).
+    ``r³ log n`` of the statement. ``method`` selects the execution
+    path for every per-iteration run, resolved once against the *host*:
+    on the CSR path each iteration's sampling becomes a
+    :class:`repro.graph.csr.SurvivorView` over one shared host snapshot
+    — engine nodes that sampled "faulty" simply stay silent on the
+    masked view, and no per-iteration subgraph, snapshot, or engine
+    routing table is ever rebuilt. ``method="dict"`` stays the pinned
+    reference (materialized ``induced_subgraph`` per iteration); the
+    two paths are seed-identical.
     """
     if graph.directed:
         raise DistributedError("run on the undirected communication graph")
@@ -93,17 +100,40 @@ def distributed_ft_spanner(
     total_messages = 0
     survivor_sizes: List[int] = []
     vertices = list(graph.vertices())
+    resolved = resolve_method(method, n)
 
-    for i in range(alpha):
-        it_rng = derive_rng(rng, i)
-        survivors = [v for v in vertices if it_rng.random() < p_survive]
-        survivor_sizes.append(len(survivors))
-        sub = graph.induced_subgraph(survivors)
-        spanner, sim = distributed_baswana_sen(sub, k, seed=it_rng, method=method)
-        total_rounds += max(sim.rounds, 1)
-        total_messages += sim.messages_sent
-        for u, v, w in spanner.edges():
-            union.add_edge(u, v, w)
+    if resolved == "csr" and n:
+        # Zero-copy loop: one host snapshot and one host weights map,
+        # reused by every iteration's masked view. The survivor draw is
+        # the same one-random()-per-vertex stream the dict loop consumes.
+        snap = snapshot(graph)
+        weights = {v: dict(graph.neighbor_items(v)) for v in vertices}
+        for i in range(alpha):
+            it_rng = derive_rng(rng, i)
+            alive = [it_rng.random() < p_survive for _v in vertices]
+            survivor_sizes.append(sum(alive))
+            view = snap.survivor_view(alive)
+            spanner, sim = distributed_baswana_sen(
+                graph, k, seed=it_rng, method="csr", scenario=view,
+                weights=weights,
+            )
+            total_rounds += max(sim.rounds, 1)
+            total_messages += sim.messages_sent
+            for u, v, w in spanner.edges():
+                union.add_edge(u, v, w)
+    else:
+        for i in range(alpha):
+            it_rng = derive_rng(rng, i)
+            survivors = [v for v in vertices if it_rng.random() < p_survive]
+            survivor_sizes.append(len(survivors))
+            sub = graph.induced_subgraph(survivors)
+            spanner, sim = distributed_baswana_sen(
+                sub, k, seed=it_rng, method="dict"
+            )
+            total_rounds += max(sim.rounds, 1)
+            total_messages += sim.messages_sent
+            for u, v, w in spanner.edges():
+                union.add_edge(u, v, w)
 
     return DistributedFTResult(
         spanner=union,

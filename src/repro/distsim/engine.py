@@ -7,23 +7,36 @@ drain side. This engine pins node ids to CSR indices via
 :func:`repro.graph.csr.snapshot` and routes every message through the
 half-edge slot that carries it:
 
-* **sending** is one scatter over the sender's contiguous out-slot range
-  (`indptr[v]..indptr[v+1]`): a generation stamp per slot is the whole
-  double-send protocol check, and a broadcast appends one *shared*
-  ``(sender, content)`` pair to its receivers' delivery buckets — no
-  per-receiver envelope is allocated;
-* **delivery** is free — swapping the two buffers publishes the round;
-  each node reads its bucket through an :class:`InboxView` (senders
-  already in dict-loop drain order), so no per-vertex inbox dict is
-  ever copied and a quiet round costs O(active), not O(m);
+* **sending** is one scatter over the sender's precomputed receiver
+  buckets: a broadcast appends one *shared* ``(sender, content)`` pair
+  per receiver — no per-receiver envelope, stamp, or payload slot is
+  written, and the bucket list objects themselves are cached on the
+  context, so the hot loop is a bare ``append`` per message. The
+  double-send protocol check is two per-context round markers (a
+  broadcast covers every alive neighbor, so any same-round resend
+  collides by construction); only *targeted* ``send`` falls back to a
+  per-slot stamp array, allocated lazily the first time a run sends;
+* **delivery** is free — buckets are persistent append-only logs, and
+  publishing a round just advances each receiver's ``[lo, hi)`` read
+  window to the current bucket length. Each node reads its window
+  through an :class:`InboxView` (senders already in dict-loop drain
+  order), so no per-vertex inbox dict is ever copied and a quiet round
+  costs O(active), not O(m). Published windows are never mutated
+  (appends only extend the log), so a stashed view keeps its contents;
+  the log is retained for the run — fine for the LOCAL protocols here,
+  which run O(k) / O(log n) rounds. Keyed access (``inbox[sender]``)
+  builds one lazy dict over the window on first use;
 * **quiescence and message accounting** are batched: an active-node
   counter maintained by ``halt`` replaces the per-round ``any()`` sweep,
-  and each swap counts the round's messages as one reduction over the
-  bucket lengths instead of a counter bump per send.
+  and each publish counts the round's messages as one reduction over
+  the window widths instead of a counter bump per send.
 
 The engine is *pinned equivalent* to the dict loop: same RNG stream
-(one :func:`repro.rng.derive_rng` draw per vertex, in host vertex
-order), same round/message counts, same results/states, and the same
+(one :func:`repro.rng.derive_seed` parent draw per vertex, in host
+vertex order; the child generator itself is built lazily on first
+``ctx.rng`` access, so programs that never draw skip the Mersenne
+Twister construction without perturbing any stream), same
+round/message counts, same results/states, and the same
 inbox iteration order — nodes run in ascending vertex index and each
 round touches a receiver's bucket at most once per sender, so bucket
 order equals the order the reference loop drains outboxes in.
@@ -35,13 +48,14 @@ including trace-event equality.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from random import Random as _Random
 from types import MappingProxyType
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..errors import DistributedError, ProtocolViolation
-from ..graph.csr import snapshot
+from ..graph.csr import SurvivorView, _np, snapshot
 from ..graph.graph import BaseGraph
-from ..rng import derive_rng
+from ..rng import derive_seed
 from .node import NodeAlgorithm, NodeContext
 
 Vertex = Hashable
@@ -54,59 +68,60 @@ _EMPTY_INBOX: Mapping = MappingProxyType({})
 class InboxView(Mapping):
     """Read-only mapping ``{sender: content}`` over a delivery bucket.
 
-    Backed by the engine's current-round bucket of ``(sender, content)``
-    pairs; iteration order is ascending sender index, matching the dict
-    loop's outbox-drain order, so order-sensitive consumers see the same
-    sequence on both paths. The bucket is never mutated after its round
-    is published (each round writes into fresh buckets), so a view an
-    algorithm stashes keeps its contents — like a stashed dict-path
-    inbox. Only keyed access (``inbox[sender]`` / ``.get`` / ``in``)
-    relies on the engine's live message slots, so it is guaranteed only
-    during the round; afterwards it raises :class:`ProtocolViolation`
-    (which ``.get``/``in`` do *not* swallow — they only catch
-    ``KeyError``), so stale random access fails loudly instead of
-    silently diverging from the dict path.
+    Backed by a ``[lo, hi)`` window of the receiver's persistent delivery
+    log of ``(sender, content)`` pairs; iteration order is ascending
+    sender index, matching the dict loop's outbox-drain order, so
+    order-sensitive consumers see the same sequence on both paths. A
+    published window is never mutated (later rounds only append past
+    ``hi``), so a view an algorithm stashes keeps its contents — like a
+    stashed dict-path inbox. Keyed access (``inbox[sender]`` / ``.get``
+    / ``in``) goes through one lazily built ``{sender: content}`` dict
+    over the window; it is part of the engine's per-round contract, so
+    outside the round that received it the view raises
+    :class:`ProtocolViolation` (which ``.get``/``in`` do *not* swallow —
+    they only catch ``KeyError``), so stale random access fails loudly
+    instead of silently diverging from the dict path.
     """
 
-    __slots__ = ("_engine", "_vidx", "_gen", "_pairs")
+    __slots__ = ("_engine", "_gen", "_log", "_lo", "_hi", "_map")
 
-    def __init__(self, engine: "ArrayRoundEngine", vidx: int, gen: int):
+    def __init__(self, engine: "ArrayRoundEngine", log, lo: int, hi: int,
+                 gen: int):
         self._engine = engine
-        self._vidx = vidx
         self._gen = gen
-        self._pairs = engine.cur_inbox[vidx]
+        self._log = log
+        self._lo = lo
+        self._hi = hi
+        self._map: Optional[Dict[Vertex, Any]] = None
 
     def __len__(self) -> int:
-        return len(self._pairs)
+        return self._hi - self._lo
 
     def __iter__(self) -> Iterator[Vertex]:
-        for sender, _content in self._pairs:
-            yield sender
+        log = self._log
+        for i in range(self._lo, self._hi):
+            yield log[i][0]
 
     def __getitem__(self, sender: Vertex) -> Any:
-        eng = self._engine
-        if eng.gen - 1 != self._gen:
+        if self._engine.gen - 1 != self._gen:
             raise ProtocolViolation(
                 "keyed inbox access outside the round that received it "
                 "(iteration/items()/len() of a stashed inbox stay valid; "
                 "inbox[sender]/.get/in do not)"
             )
-        s = eng.index.get(sender)
-        if s is None:
-            raise KeyError(sender)
-        pos = eng.out_pos(s).get(eng.verts[self._vidx])
-        if pos is None or eng.cur_stamp[pos] != self._gen:
-            raise KeyError(sender)
-        return eng.cur_content[pos]
+        table = self._map
+        if table is None:
+            table = self._map = dict(self._log[self._lo:self._hi])
+        return table[sender]
 
     # Dict-shaped fast paths (the Mapping mixins would re-run __getitem__
     # per key; algorithms iterate these in their hot loops).
 
     def items(self) -> List[Tuple[Vertex, Any]]:
-        return list(self._pairs)
+        return self._log[self._lo:self._hi]
 
     def values(self) -> List[Any]:
-        return [content for _sender, content in self._pairs]
+        return [content for _sender, content in self._log[self._lo:self._hi]]
 
 
 class EngineNodeContext(NodeContext):
@@ -116,9 +131,10 @@ class EngineNodeContext(NodeContext):
         self,
         node: Vertex,
         neighbors: Tuple[Vertex, ...],
-        rng,
+        rng_seed: int,
         engine: "ArrayRoundEngine",
         vidx: int,
+        nbr_idx: Tuple[int, ...],
     ):
         # Deliberately not super().__init__: the base initializer builds
         # a per-node neighbor set and outbox dict that only the dict
@@ -127,55 +143,90 @@ class EngineNodeContext(NodeContext):
         # so those O(deg) structures would be dead weight per node.
         self.node = node
         self.neighbors = neighbors
-        self.rng = rng
+        # The parent stream was already advanced (derive_seed); the child
+        # generator is only materialized if the program ever draws from it.
+        self._rng_seed = rng_seed
+        self._rng: Optional[_Random] = None
         self.round = 0
         self.state = {}
         self._halted = False
         self._result = None
         self._engine = engine
         self._vidx = vidx
-        self._lo = engine.csr.indptr[vidx]
-        self._hi = engine.csr.indptr[vidx + 1]
+        # Receiver vertex indices this node scatters broadcasts to: the
+        # full CSR out-range, or (on a masked view) its surviving
+        # subsequence — plus the receivers' bound ``append`` methods.
+        # The delivery logs persist for the whole run, so both the list
+        # objects and their methods can be captured once; the broadcast
+        # loop is then one bare call per receiver.
+        self._nbr_idx = nbr_idx
+        buckets = engine.buckets
+        self._appends = tuple(buckets[r].append for r in nbr_idx)
+        # Double-send round markers: a broadcast reaches every alive
+        # neighbor, so any second send this round collides with it by
+        # construction — no per-slot stamp needed on the broadcast path.
+        self._sent_gen = -1
+        self._bcast_gen = -1
         self._pos_of: Optional[Dict[Vertex, int]] = None
+
+    @property
+    def rng(self) -> _Random:
+        """This node's private generator, seeded exactly as the dict loop's.
+
+        Built on first access: constructing a Mersenne Twister per vertex
+        is the dominant per-node setup cost, and deterministic protocols
+        never touch it. The seed was drawn from the parent stream at
+        context construction, so laziness is invisible to every stream.
+        """
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = _Random(self._rng_seed)
+        return rng
 
     def send(self, neighbor: Vertex, content: Any) -> None:
         pos_of = self._pos_of
         if pos_of is None:
             pos_of = self._pos_of = self._engine.out_pos(self._vidx)
         pos = pos_of.get(neighbor)
-        if pos is None:
+        eng = self._engine
+        if pos is None or (eng.half_ok is not None and not eng.half_ok[pos]):
             raise ProtocolViolation(
                 f"node {self.node!r} tried to message non-neighbor {neighbor!r}"
             )
-        eng = self._engine
-        if eng.nxt_stamp[pos] == eng.gen:
+        stamp = eng.send_stamp
+        if stamp is None:
+            stamp = eng._ensure_send_stamp()
+        if stamp[pos] == eng.gen or self._bcast_gen == eng.gen:
             raise ProtocolViolation(
                 f"node {self.node!r} sent twice to {neighbor!r} in one round"
             )
-        eng.nxt_stamp[pos] = eng.gen
-        eng.nxt_content[pos] = content
-        eng.nxt_inbox[eng.nbr[pos]].append((self.node, content))
+        stamp[pos] = eng.gen
+        self._sent_gen = eng.gen
+        eng.buckets[eng.nbr[pos]].append((self.node, content))
 
     def broadcast(self, content: Any) -> None:
-        # One pass over the sender's contiguous out-slot range, sharing a
-        # single (sender, content) pair across all receivers. Broadcast
-        # is the protocol's hot primitive; the iteration order here
-        # cannot influence delivery order because each receiver's bucket
-        # is touched exactly once per sender per round.
+        # One pass over the sender's receiver tuple, sharing a single
+        # (sender, content) pair across all receivers. Broadcast is the
+        # protocol's hot primitive; the iteration order here cannot
+        # influence delivery order because each receiver's bucket is
+        # touched exactly once per sender per round. A broadcast with no
+        # alive receivers sends nothing, so (like the dict loop) it
+        # neither trips nor arms the double-send check.
+        appends = self._appends
+        if not appends:
+            return
         eng = self._engine
         gen = eng.gen
-        stamp, payload = eng.nxt_stamp, eng.nxt_content
-        nbr, inbox = eng.nbr, eng.nxt_inbox
+        if self._sent_gen == gen:
+            raise ProtocolViolation(
+                f"node {self.node!r} sent twice to "
+                f"{eng.verts[self._nbr_idx[0]]!r} in one round"
+            )
+        self._sent_gen = gen
+        self._bcast_gen = gen
         pair = (self.node, content)
-        for pos in range(self._lo, self._hi):
-            if stamp[pos] == gen:
-                raise ProtocolViolation(
-                    f"node {self.node!r} sent twice to "
-                    f"{eng.verts[nbr[pos]]!r} in one round"
-                )
-            stamp[pos] = gen
-            payload[pos] = content
-            inbox[nbr[pos]].append(pair)
+        for append in appends:
+            append(pair)
 
     def halt(self, result: Any = None) -> None:
         if not self._halted:
@@ -187,63 +238,143 @@ class ArrayRoundEngine:
     """Executes a node algorithm over a CSR snapshot of the comm graph.
 
     Construction consumes the RNG stream exactly like the dict loop:
-    one derived child generator per vertex, in host vertex order, so a
+    one derived 64-bit seed per vertex, in host vertex order, so a
     caller-supplied parent generator is left in an identical state by
-    either path.
+    either path. The per-vertex child generators themselves are lazy
+    (see :attr:`EngineNodeContext.rng`).
+
+    With ``view`` (a :class:`repro.graph.csr.SurvivorView` over the
+    host's snapshot) the engine executes on the masked survivor subgraph
+    *zero-copy*: no subgraph, snapshot, or routing table is rebuilt.
+    Faulted vertices get no context (they stay silent and draw no RNG),
+    dead half-edge slots are dropped from every node's scatter sequence,
+    and results/states/trace cover exactly the surviving vertices — pinned
+    identical to running the dict loop on ``view.to_graph()``.
     """
 
-    def __init__(self, graph: BaseGraph, factory, rng, tracer=None) -> None:
-        csr = snapshot(graph)
+    def __init__(
+        self,
+        graph: BaseGraph,
+        factory,
+        rng,
+        tracer=None,
+        view: Optional[SurvivorView] = None,
+    ) -> None:
+        csr = view.csr if view is not None else snapshot(graph)
         self.csr = csr
         self.verts = csr.verts
         self.index = csr.index
         self.nbr = csr.nbr
         self.tracer = tracer
+        #: Per-half-slot survivor list on a masked view, else None.
+        self.half_ok = view.half_alive() if view is not None else None
         n = csr.num_vertices
-        m_half = len(csr.nbr)
 
         # Per-vertex {neighbor vertex: out half-edge position} routing
-        # tables, built lazily by out_pos() (only targeted `send` and
-        # inbox random access need them — broadcast walks the CSR range
-        # directly) and cached on the immutable snapshot so repeated
-        # simulations over one communication graph share them.
+        # tables, built lazily by out_pos() (only targeted `send` needs
+        # them — broadcast scatters over precomputed receiver tuples)
+        # and cached on the immutable snapshot so repeated simulations
+        # over one communication graph share them.
         if csr._engine_tables is None:
             csr._engine_tables = [None] * n
         self._out_pos: List[Optional[Dict[Vertex, int]]] = csr._engine_tables
 
-        # Double-buffered message state: nodes read `cur`, write `nxt`;
-        # a buffer swap publishes a round. Each buffer holds a
-        # generation stamp and content per half-edge slot (double-send
-        # detection and O(1) inbox random access) plus per-receiver
-        # buckets of (sender, content) pairs in ascending-sender order
-        # (fresh per round — published buckets are never touched again).
-        self.cur_stamp = [-1] * m_half
-        self.cur_content: List[Any] = [None] * m_half
-        self.nxt_stamp = [-1] * m_half
-        self.nxt_content: List[Any] = [None] * m_half
-        self.cur_inbox: List[List[Tuple[Vertex, Any]]] = [[] for _ in range(n)]
-        self.nxt_inbox: List[List[Tuple[Vertex, Any]]] = [[] for _ in range(n)]
+        # Delivery state: one persistent append-only log of (sender,
+        # content) pairs per receiver, in ascending-sender order within
+        # each round. Publishing a round advances the per-receiver
+        # [read_lo, read_hi) window — published windows are never
+        # mutated, later rounds only append past them. Targeted sends
+        # additionally stamp their half-edge slot for double-send
+        # detection; the stamp array is allocated lazily the first time
+        # a run sends, so broadcast-only protocols (and masked
+        # per-scenario runs) never pay the O(m) buffer.
+        self.buckets: List[List[Tuple[Vertex, Any]]] = [[] for _ in range(n)]
+        self.read_lo = [0] * n
+        self.read_hi = [0] * n
+        self._published = 0
+        self.send_stamp: Optional[List[int]] = None
         self.gen = 0
         self.sent = 0
-        self.active = n
 
-        # Contexts mirror the dict loop exactly: neighbor tuples come
-        # from the graph's adjacency (not CSR fill order), and each
-        # vertex draws one derived child stream in host vertex order.
         contexts: List[EngineNodeContext] = []
         algorithms: List[NodeAlgorithm] = []
-        for i, v in enumerate(self.verts):
-            ctx = EngineNodeContext(
-                node=v,
-                neighbors=tuple(graph.neighbors(v)),
-                rng=derive_rng(rng, i),
-                engine=self,
-                vidx=i,
-            )
-            contexts.append(ctx)
-            algorithms.append(factory(v))
+        if self.half_ok is None:
+            # Contexts mirror the dict loop exactly: neighbor tuples come
+            # from the graph's adjacency (not CSR fill order), and each
+            # vertex draws one derived child stream in host vertex order.
+            # Both per-vertex tuples are immutable and graph-determined,
+            # so they are built once and cached on the snapshot.
+            nbrs = csr._engine_nbrs
+            if nbrs is None:
+                nbrs = csr._engine_nbrs = [
+                    tuple(graph.neighbors(v)) for v in self.verts
+                ]
+            nbr_idx = csr._engine_nbr_idx
+            if nbr_idx is None:
+                nbr, indptr = csr.nbr, csr.indptr
+                nbr_idx = csr._engine_nbr_idx = [
+                    tuple(nbr[indptr[i]:indptr[i + 1]]) for i in range(n)
+                ]
+            for i, v in enumerate(self.verts):
+                contexts.append(EngineNodeContext(
+                    node=v,
+                    neighbors=nbrs[i],
+                    rng_seed=derive_seed(rng, i),
+                    engine=self,
+                    vidx=i,
+                    nbr_idx=nbr_idx[i],
+                ))
+                algorithms.append(factory(v))
+        else:
+            # Masked view: only surviving vertices get contexts, in host
+            # vertex order with a *running* derivation counter — exactly
+            # the stream the dict loop draws on the materialized survivor
+            # subgraph. Neighbor tuples come from the surviving CSR slots,
+            # whose per-vertex order is the host's edges() enumeration
+            # order — the insertion order of ``view.to_graph()`` (and of
+            # ``induced_subgraph``) adjacencies, so order-sensitive
+            # algorithms observe identical neighborhoods on both paths.
+            verts, indptr = csr.verts, csr.indptr
+            alive_idx = view.surviving_vertex_indices()
+            ok_np = view._half_ok()
+            if ok_np is not None:
+                # Vectorized slot survival: one C pass gathers every
+                # surviving receiver index, then searchsorted recovers the
+                # per-vertex boundaries — no per-slot Python filtering.
+                alive_pos = _np.flatnonzero(ok_np)
+                recv = self.csr.half_arrays_np()[1][alive_pos].tolist()
+                bounds = _np.searchsorted(
+                    alive_pos, _np.asarray(indptr, dtype=_np.int64)
+                ).tolist()
+                slot_of = lambda i: tuple(recv[bounds[i]:bounds[i + 1]])
+            else:
+                half_ok, nbr = self.half_ok, csr.nbr
+                slot_of = lambda i: tuple(
+                    nbr[p]
+                    for p in range(indptr[i], indptr[i + 1])
+                    if half_ok[p]
+                )
+            vert_of = verts.__getitem__
+            for j, i in enumerate(alive_idx):
+                nbr_idx = slot_of(i)
+                contexts.append(EngineNodeContext(
+                    node=verts[i],
+                    neighbors=tuple(map(vert_of, nbr_idx)),
+                    rng_seed=derive_seed(rng, j),
+                    engine=self,
+                    vidx=i,
+                    nbr_idx=nbr_idx,
+                ))
+                algorithms.append(factory(verts[i]))
         self.contexts = contexts
         self.algorithms = algorithms
+        self.active = len(contexts)
+
+    def _ensure_send_stamp(self) -> List[int]:
+        """Allocate the targeted-send double-send stamps on first use."""
+        if self.send_stamp is None:
+            self.send_stamp = [-1] * len(self.csr.nbr)
+        return self.send_stamp
 
     def out_pos(self, vidx: int) -> Dict[Vertex, int]:
         """``{neighbor vertex: half-edge position}`` of vertex ``vidx``."""
@@ -261,27 +392,33 @@ class ArrayRoundEngine:
     # -- round machinery -------------------------------------------------
 
     def _swap(self) -> None:
-        """Publish the round's sends and open a fresh write buffer.
+        """Publish the round's sends by advancing the read windows.
 
         Message accounting happens here as one batched reduction over
-        the outgoing buckets (instead of a counter bump per send). The
-        next round writes into *fresh* buckets — published buckets are
-        never mutated, so an :class:`InboxView` outlives its round with
-        its contents intact (matching what a stashed dict-path inbox
-        observes).
+        the log lengths (instead of a counter bump per send). Published
+        windows are never mutated — later rounds only append past them —
+        so an :class:`InboxView` outlives its round with its contents
+        intact (matching what a stashed dict-path inbox observes).
         """
-        self.sent += sum(map(len, self.nxt_inbox))
-        self.cur_inbox = self.nxt_inbox
-        self.nxt_inbox = [[] for _ in range(len(self.verts))]
-        self.cur_stamp, self.nxt_stamp = self.nxt_stamp, self.cur_stamp
-        self.cur_content, self.nxt_content = self.nxt_content, self.cur_content
+        self.read_lo = self.read_hi
+        hi = list(map(len, self.buckets))
+        self.read_hi = hi
+        total = sum(hi)
+        self.sent += total - self._published
+        self._published = total
         self.gen += 1
 
     def _materialize_inboxes(self) -> Dict[Vertex, Dict[Vertex, Any]]:
-        """Per-vertex inbox dicts for the tracer (only built when tracing)."""
-        cur_inbox = self.cur_inbox
+        """Per-vertex inbox dicts for the tracer (only built when tracing).
+
+        Driven by the context list, so on a masked view the trace covers
+        exactly the surviving vertices (like the dict loop on the
+        materialized survivor subgraph).
+        """
+        buckets, lo, hi = self.buckets, self.read_lo, self.read_hi
         return {
-            v: dict(cur_inbox[i]) for i, v in enumerate(self.verts)
+            ctx.node: dict(buckets[ctx._vidx][lo[ctx._vidx]:hi[ctx._vidx]])
+            for ctx in self.contexts
         }
 
     def run(self, max_rounds: int = 10_000):
@@ -312,15 +449,19 @@ class ArrayRoundEngine:
                 if tracer is not None
                 else None
             )
-            cur_inbox = self.cur_inbox
+            buckets, read_lo, read_hi = self.buckets, self.read_lo, self.read_hi
             for i in range(n):
                 ctx = contexts[i]
                 if ctx._halted:
                     continue
                 ctx.round = rounds
+                vi = ctx._vidx
+                lo, hi = read_lo[vi], read_hi[vi]
                 algorithms[i].on_round(
                     ctx,
-                    InboxView(self, i, cur_gen) if cur_inbox[i] else _EMPTY_INBOX,
+                    InboxView(self, buckets[vi], lo, hi, cur_gen)
+                    if hi > lo
+                    else _EMPTY_INBOX,
                 )
             if tracer is not None:
                 tracer.observe_round(

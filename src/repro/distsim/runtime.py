@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable
 
 from ..errors import DistributedError
-from ..graph.csr import resolve_method
+from ..graph.csr import SurvivorView, resolve_method, snapshot
 from ..graph.graph import BaseGraph, Graph
 from ..rng import RandomLike, derive_rng, ensure_rng
 from .node import NodeAlgorithm, NodeContext
@@ -67,6 +67,14 @@ class Simulation:
     loop below, ``"csr"`` the array-backed round engine, and ``"auto"``
     picks the engine at and above the kernel layer's dispatch size. The
     two are seed-identical, so the choice is performance-only.
+
+    ``scenario`` restricts execution to the surviving subgraph of a
+    :class:`repro.graph.scenario.FaultScenario` (or a prebuilt
+    :class:`repro.graph.csr.SurvivorView` over the host's snapshot):
+    the engine path runs zero-copy on the masked view — faulted nodes
+    stay silent, nothing is rebuilt — while the dict path stays the
+    pinned reference by materializing the survivor subgraph. ``auto``
+    dispatch then keys on the *surviving* vertex count.
     """
 
     def __init__(
@@ -76,6 +84,7 @@ class Simulation:
         seed: RandomLike = None,
         tracer=None,
         method: str = "auto",
+        scenario=None,
     ) -> None:
         if graph.directed:
             raise DistributedError(
@@ -86,8 +95,17 @@ class Simulation:
         self.factory = factory
         #: Optional :class:`~repro.distsim.trace.SimulationTracer`.
         self.tracer = tracer
+        view: "SurvivorView | None" = None
+        if scenario is not None:
+            if isinstance(scenario, SurvivorView):
+                view = scenario
+            else:
+                view = snapshot(graph).survivor_view(scenario)
         #: The execution path this simulation resolved to ("csr"/"dict").
-        self.resolved_method = resolve_method(method, graph.num_vertices)
+        self.resolved_method = resolve_method(
+            method,
+            view.num_surviving_vertices if view is not None else graph.num_vertices,
+        )
         rng = ensure_rng(seed)
         self._engine = None
         self._contexts: Dict[Vertex, NodeContext] = {}
@@ -95,8 +113,14 @@ class Simulation:
         if self.resolved_method == "csr":
             from .engine import ArrayRoundEngine
 
-            self._engine = ArrayRoundEngine(graph, factory, rng, tracer=tracer)
+            self._engine = ArrayRoundEngine(
+                graph, factory, rng, tracer=tracer, view=view
+            )
             return
+        if view is not None and view.is_masked:
+            # Reference semantics of a scenario run: the dict loop on the
+            # materialized survivor subgraph.
+            graph = view.to_graph()
         for i, v in enumerate(graph.vertices()):
             ctx = NodeContext(
                 node=v,
@@ -167,8 +191,8 @@ def run_algorithm(
     seed: RandomLike = None,
     max_rounds: int = 10_000,
     method: str = "auto",
+    scenario=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulation`."""
-    return Simulation(graph, factory, seed=seed, method=method).run(
-        max_rounds=max_rounds
-    )
+    return Simulation(graph, factory, seed=seed, method=method,
+                      scenario=scenario).run(max_rounds=max_rounds)

@@ -43,6 +43,7 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .graph import BaseGraph, DiGraph, Graph
+from .scenario import FaultScenario
 
 try:  # NumPy is part of the baked-in toolchain, but stay importable without it.
     import numpy as _np
@@ -92,6 +93,9 @@ class CSRGraph:
         "_half_np",
         "_sp_kernels",
         "_engine_tables",
+        "_engine_nbrs",
+        "_engine_nbr_idx",
+        "_uv_eid",
     )
 
     def __init__(self) -> None:
@@ -114,6 +118,14 @@ class CSRGraph:
         #: :class:`repro.distsim.engine.ArrayRoundEngine` and cached here
         #: because the snapshot is immutable.
         self._engine_tables = None
+        #: Per-vertex neighbor-label and receiver-index tuples for the
+        #: round engine's unmasked contexts — also engine-owned, also
+        #: safe to cache here because the snapshot is immutable.
+        self._engine_nbrs = None
+        self._engine_nbr_idx = None
+        #: Lazy ``(u_idx, v_idx) -> edge id`` table (undirected pairs are
+        #: normalized) for translating :class:`FaultScenario` edge lists.
+        self._uv_eid = None
 
     # ------------------------------------------------------------------
     # Construction / round-trip
@@ -524,9 +536,68 @@ class CSRGraph:
         edge_u, edge_v = self.edge_u, self.edge_v
         return [e for e in ids if alive[edge_u[e]] and alive[edge_v[e]]]
 
-    def survivor_view(self, alive: Sequence) -> "SurvivorView":
-        """O(m) subgraph view ``G \\ J`` for the survivor mask ``alive``."""
-        return SurvivorView(self, alive)
+    def edge_id(self, u: Vertex, v: Vertex) -> int:
+        """The edge id of ``(u, v)`` (orientation-free on undirected hosts).
+
+        The ``(u_idx, v_idx) -> id`` table is built lazily once per
+        snapshot; raises ``KeyError`` for absent edges.
+        """
+        if self._uv_eid is None:
+            table: Dict[Tuple[int, int], int] = {}
+            if self.directed:
+                for e, (ui, vi) in enumerate(zip(self.edge_u, self.edge_v)):
+                    table[(ui, vi)] = e
+            else:
+                for e, (ui, vi) in enumerate(zip(self.edge_u, self.edge_v)):
+                    table[(ui, vi) if ui <= vi else (vi, ui)] = e
+            self._uv_eid = table
+        ui = self.index[u]
+        vi = self.index[v]
+        if not self.directed and ui > vi:
+            ui, vi = vi, ui
+        return self._uv_eid[(ui, vi)]
+
+    def scenario_masks(self, scenario: FaultScenario):
+        """Translate a :class:`FaultScenario` into ``(alive, edge_alive)``.
+
+        Either mask is ``None`` when that axis is unmasked. Unknown
+        vertices/edges raise ``KeyError`` — a scenario must refer to the
+        host it was drawn from.
+        """
+        alive = None
+        edge_alive = None
+        if scenario.vertices:
+            alive = [True] * self.num_vertices
+            index = self.index
+            for v in scenario.vertices:
+                alive[index[v]] = False
+        if scenario.edges:
+            edge_alive = [True] * self.num_edges
+            for u, v in scenario.edges:
+                edge_alive[self.edge_id(u, v)] = False
+        return alive, edge_alive
+
+    def survivor_view(
+        self, alive=None, *, edge_alive: Optional[Sequence] = None
+    ) -> "SurvivorView":
+        """O(m) masked view ``G \\ J`` — no arrays copied, no dict rebuilt.
+
+        ``alive`` is a length-n vertex survivor mask, a
+        :class:`FaultScenario` (translated via :meth:`scenario_masks`),
+        or ``None`` (all vertices alive). ``edge_alive`` is an optional
+        per-edge-id survivor mask, letting vertex- and edge-fault
+        pipelines share one view type.
+        """
+        scenario = None
+        if isinstance(alive, FaultScenario):
+            if edge_alive is not None:
+                raise ValueError(
+                    "pass either a FaultScenario or explicit masks, not both"
+                )
+            scenario = alive
+            alive, edge_alive = self.scenario_masks(scenario)
+        return SurvivorView(self, alive, edge_alive=edge_alive,
+                            scenario=scenario)
 
     def materialize_edge_ids(self, ids: Iterable[int]) -> BaseGraph:
         """Spanning subgraph holding exactly the edges in ``ids``.
@@ -607,47 +678,216 @@ class CSRGraph:
 
 
 class SurvivorView:
-    """A ``G \\ J`` view over a :class:`CSRGraph` defined by a vertex mask.
+    """A ``G \\ J`` view over a :class:`CSRGraph` defined by survivor masks.
 
-    No arrays are copied: kernels run on the parent CSR with the mask
-    applied per relaxation. ``surviving_edge_ids`` is computed lazily once
-    (one vectorized O(m) pass).
+    No arrays are copied: kernels run on the parent CSR with the masks
+    applied per relaxation. ``alive`` masks vertices (``None`` = all
+    alive); ``edge_alive`` masks unique edge ids (``None`` = all alive) —
+    an edge survives iff both endpoints are alive *and* its id is alive,
+    so vertex- and edge-fault scenarios share this one view type.
+    ``surviving_edge_ids`` / ``half_alive`` / ``masked_weights`` are each
+    computed lazily once (one vectorized O(m) pass with NumPy).
     """
 
-    __slots__ = ("csr", "alive", "_edge_ids")
+    __slots__ = ("csr", "alive", "edge_alive", "scenario", "_edge_ids",
+                 "_alive_np", "_half_ok_np", "_half_alive", "_masked_wt")
 
-    def __init__(self, csr: CSRGraph, alive: Sequence):
+    def __init__(self, csr: CSRGraph, alive: Optional[Sequence] = None,
+                 edge_alive: Optional[Sequence] = None, scenario=None):
         self.csr = csr
         self.alive = alive
+        self.edge_alive = edge_alive
+        #: The :class:`FaultScenario` this view was built from, if any
+        #: (provenance only — the masks are authoritative).
+        self.scenario = scenario
         self._edge_ids: Optional[List[int]] = None
+        self._alive_np = None
+        self._half_ok_np = None
+        self._half_alive = None
+        self._masked_wt = None
+
+    @property
+    def is_masked(self) -> bool:
+        """False when the view is the whole host (no mask on either axis)."""
+        return self.alive is not None or self.edge_alive is not None
+
+    def alive_np(self):
+        """NumPy bool mirror of the vertex mask (``None`` when unmasked)."""
+        if self.alive is None or _np is None:
+            return None
+        if self._alive_np is None:
+            self._alive_np = _np.asarray(self.alive, dtype=bool)
+        return self._alive_np
 
     @property
     def num_surviving_vertices(self) -> int:
+        if self.alive is None:
+            return self.csr.num_vertices
         return sum(1 for a in self.alive if a)
+
+    def surviving_vertex_indices(self) -> List[int]:
+        """Alive vertex indices, in host vertex order."""
+        if self.alive is None:
+            return list(range(self.csr.num_vertices))
+        return [i for i, a in enumerate(self.alive) if a]
 
     def surviving_edge_ids(self) -> List[int]:
         if self._edge_ids is None:
-            self._edge_ids = self.csr.surviving_edge_ids(self.alive)
+            csr = self.csr
+            if self.alive is None and self.edge_alive is None:
+                self._edge_ids = list(range(csr.num_edges))
+            elif self.edge_alive is None:
+                self._edge_ids = csr.surviving_edge_ids(self.alive)
+            elif _np is not None and csr._edge_u_np is not None:
+                ok = _np.asarray(self.edge_alive, dtype=bool)
+                if self.alive is not None:
+                    alive_np = self.alive_np()
+                    ok = ok & alive_np[csr._edge_u_np] & alive_np[csr._edge_v_np]
+                self._edge_ids = _np.nonzero(ok)[0].tolist()
+            else:
+                alive, edge_alive = self.alive, self.edge_alive
+                edge_u, edge_v = csr.edge_u, csr.edge_v
+                self._edge_ids = [
+                    e for e in range(csr.num_edges)
+                    if edge_alive[e]
+                    and (alive is None or (alive[edge_u[e]] and alive[edge_v[e]]))
+                ]
         return self._edge_ids
 
     @property
     def num_surviving_edges(self) -> int:
         return len(self.surviving_edge_ids())
 
+    def filter_edge_ids(self, ids):
+        """Subsequence of edge ids ``ids`` surviving both masks, order kept.
+
+        The per-iteration work of the conversion loops: ``ids`` is a
+        precomputed (e.g. weight-sorted) id list and the result feeds the
+        indexed greedy kernel directly.
+        """
+        csr = self.csr
+        if self.alive is None and self.edge_alive is None:
+            return ids
+        if self.edge_alive is None:
+            return csr.filter_edge_ids(ids, self.alive)
+        if _np is not None and csr._edge_u_np is not None:
+            ids_np = _np.asarray(ids, dtype=_np.int64)
+            ok = _np.asarray(self.edge_alive, dtype=bool)[ids_np]
+            if self.alive is not None:
+                alive_np = self.alive_np()
+                ok = (ok & alive_np[csr._edge_u_np[ids_np]]
+                      & alive_np[csr._edge_v_np[ids_np]])
+            return ids_np[ok]
+        alive, edge_alive = self.alive, self.edge_alive
+        edge_u, edge_v = csr.edge_u, csr.edge_v
+        return [
+            e for e in ids
+            if edge_alive[e]
+            and (alive is None or (alive[edge_u[e]] and alive[edge_v[e]]))
+        ]
+
+    def _half_ok(self):
+        """NumPy bool per half-edge slot (``None`` = nothing masked)."""
+        if not self.is_masked or _np is None:
+            return None
+        if self._half_ok_np is None:
+            csr = self.csr
+            _indptr, nbr, _wt, eid, deg = csr.half_arrays_np()
+            ok = None
+            if self.alive is not None:
+                alive_np = self.alive_np()
+                src = _np.repeat(
+                    _np.arange(csr.num_vertices, dtype=_np.int64), deg
+                )
+                ok = alive_np[src] & alive_np[nbr]
+            if self.edge_alive is not None:
+                edge_ok = _np.asarray(self.edge_alive, dtype=bool)[eid]
+                ok = edge_ok if ok is None else ok & edge_ok
+            self._half_ok_np = ok
+        return self._half_ok_np
+
+    def half_alive(self) -> Optional[List[bool]]:
+        """Per-half-edge-slot survivor list (``None`` = nothing masked).
+
+        Slot ``p`` is alive iff its source vertex, target vertex, and
+        edge id all survive — the mask the round engine consults when
+        scattering broadcasts. A plain list, because the engine reads it
+        with scalar indexing inside interpreted loops.
+        """
+        if not self.is_masked:
+            return None
+        if self._half_alive is None:
+            ok = self._half_ok()
+            if ok is not None:
+                self._half_alive = ok.tolist()
+            else:
+                csr = self.csr
+                alive, edge_alive = self.alive, self.edge_alive
+                indptr, nbr, eid = csr.indptr, csr.nbr, csr.eid
+                out = [True] * len(nbr)
+                for v in range(csr.num_vertices):
+                    v_ok = alive is None or alive[v]
+                    for p in range(indptr[v], indptr[v + 1]):
+                        out[p] = bool(
+                            v_ok
+                            and (alive is None or alive[nbr[p]])
+                            and (edge_alive is None or edge_alive[eid[p]])
+                        )
+                self._half_alive = out
+        return self._half_alive
+
+    def masked_weights(self):
+        """Half-edge weight vector with ``+inf`` on dead slots.
+
+        ``None`` when the view is unmasked (callers then use the
+        snapshot's base weights) or NumPy is unavailable. An infinite
+        edge can never lie on a finite shortest path, so handing this to
+        :class:`SciPyGraphKernels` runs any distance pass on the
+        survivor subgraph without touching the index arrays.
+        """
+        ok = self._half_ok()
+        if ok is None:
+            return None
+        if self._masked_wt is None:
+            _indptr, _nbr, wt, _eid, _deg = self.csr.half_arrays_np()
+            data = wt.copy()
+            data[~ok] = _np.inf
+            self._masked_wt = data
+        return self._masked_wt
+
     def dijkstra_idx(self, source: int, cutoff=None, target: int = -1):
+        if self.edge_alive is not None:
+            raise ValueError(
+                "dijkstra_idx on an edge-masked view is not supported; "
+                "use masked_weights() with the SciPy kernels"
+            )
         return self.csr.dijkstra_idx(
             source, cutoff=cutoff, target=target, mask=self.alive
         )
 
     def bfs_idx(self, source: int, cutoff=None):
+        if self.edge_alive is not None:
+            raise ValueError(
+                "bfs_idx on an edge-masked view is not supported; "
+                "use masked_weights() with the SciPy kernels"
+            )
         return self.csr.bfs_idx(source, cutoff=cutoff, mask=self.alive)
 
     def to_graph(self) -> BaseGraph:
-        """Materialize the surviving induced subgraph as a dict graph."""
+        """Materialize the surviving subgraph as a dict graph.
+
+        With a vertex mask, dead vertices are dropped (the induced
+        subgraph ``G \\ J``); with only an edge mask, every vertex is
+        retained — matching ``BaseGraph.edge_subgraph``, since a spanner
+        must span every vertex.
+        """
         csr = self.csr
         g: BaseGraph = DiGraph() if csr.directed else Graph()
         alive = self.alive
-        g.add_vertices(v for i, v in enumerate(csr.verts) if alive[i])
+        if alive is None:
+            g.add_vertices(csr.verts)
+        else:
+            g.add_vertices(v for i, v in enumerate(csr.verts) if alive[i])
         verts = csr.verts
         for e in self.surviving_edge_ids():
             g.add_edge(verts[csr.edge_u[e]], verts[csr.edge_v[e]], csr.edge_w[e])

@@ -36,12 +36,13 @@ def ensure_rng(seed: RandomLike = None) -> random.Random:
     return random.Random(seed)
 
 
-def derive_rng(rng: random.Random, index: int) -> random.Random:
-    """Derive an independent child generator from ``rng`` for stream ``index``.
+def derive_seed(rng: random.Random, index: int) -> int:
+    """The 64-bit child seed ``derive_rng`` would use, without the generator.
 
-    The child is seeded from a 64-bit draw of the parent mixed with the
-    stream index, which keeps distinct indices decorrelated while remaining
-    deterministic given the parent's state.
+    Consumes exactly the same one 64-bit draw from the parent as
+    :func:`derive_rng`, so callers that want to defer (or skip) the
+    comparatively expensive ``random.Random`` construction can advance the
+    parent stream identically and build ``random.Random(seed)`` later.
     """
     base = rng.getrandbits(64)
     mixed = (base ^ ((index + 1) * _DERIVE_MULTIPLIER)) & _MASK64
@@ -49,8 +50,17 @@ def derive_rng(rng: random.Random, index: int) -> random.Random:
     z = (mixed + 0x9E3779B97F4A7C15) & _MASK64
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-    z = z ^ (z >> 31)
-    return random.Random(z)
+    return z ^ (z >> 31)
+
+
+def derive_rng(rng: random.Random, index: int) -> random.Random:
+    """Derive an independent child generator from ``rng`` for stream ``index``.
+
+    The child is seeded from a 64-bit draw of the parent mixed with the
+    stream index, which keeps distinct indices decorrelated while remaining
+    deterministic given the parent's state.
+    """
+    return random.Random(derive_seed(rng, index))
 
 
 def spawn_streams(seed: RandomLike, count: int) -> list[random.Random]:

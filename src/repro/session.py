@@ -276,6 +276,61 @@ class Session:
         blob = f"{spec.replace(seed=None).fingerprint()}:{seed}".encode("utf-8")
         return hashlib.sha256(blob).hexdigest()[:16]
 
+    # -- fault scenarios -----------------------------------------------
+
+    def scenario(
+        self,
+        spec: SpannerSpec,
+        graph: Optional[HostLike] = None,
+        iteration: int = 0,
+        seed: Optional[int] = None,
+    ):
+        """The :class:`repro.graph.FaultScenario` a build's iteration drew.
+
+        Replays the library's one sampling rule — ``ensure_rng(seed)``,
+        then :func:`repro.rng.derive_rng` per iteration in order, then
+        one ``random()`` per vertex (``kind="vertex"``) or per edge
+        (``kind="edge"``) with the spec's survival probability — and
+        freezes iteration ``iteration``'s draw as a replayable scenario
+        with seed/iteration provenance. Feeding the result back through
+        ``scenarios=`` reproduces that iteration's fault set exactly.
+
+        ``seed`` overrides the spec's pinned seed (pass
+        ``report.resolved_seed`` to replay a session-derived build);
+        a spec with no resolvable seed raises :class:`InvalidSpec`.
+        """
+        from .core.conversion import survival_probability
+        from .graph.scenario import FaultScenario
+
+        if iteration < 0:
+            raise InvalidSpec(f"iteration must be >= 0, got {iteration}")
+        if seed is None:
+            seed = spec.seed
+        if seed is None:
+            raise InvalidSpec(
+                "scenario replay needs a seed: pin one on the spec or pass "
+                "seed= (e.g. report.resolved_seed)"
+            )
+        kind = spec.faults.kind
+        if kind == "none":
+            return FaultScenario.none()
+        host = self._resolve_graph(spec, graph)
+        p_survive = spec.param("survival_prob")
+        if p_survive is None:
+            p_survive = survival_probability(spec.faults.r)
+        rng = ensure_rng(seed)
+        for j in range(iteration + 1):
+            it_rng = derive_rng(rng, j)
+        if kind == "vertex":
+            return FaultScenario.sample_vertices(
+                host.vertices(), p_survive, it_rng,
+                seed=seed, iteration=iteration,
+            )
+        return FaultScenario.sample_edges(
+            ((u, v) for u, v, _w in host.edges()), p_survive, it_rng,
+            seed=seed, iteration=iteration,
+        )
+
     # -- verification --------------------------------------------------
 
     def verify(

@@ -84,9 +84,7 @@ class TestExhaustiveVerifier:
         assert is_fault_tolerant_spanner(h, g, 3, 0)
         # ...but faulting a cycle vertex leaves a path with stretch 3 > 2? Use
         # explicit small fault sets to exercise the parameter.
-        assert is_fault_tolerant_spanner(
-            h, g, 3, 1, fault_sets_to_check=[()]
-        )
+        assert is_fault_tolerant_spanner(h, g, 3, 1, scenarios=[()])
 
     def test_sampled_check_consistent(self):
         g = complete_graph(6)

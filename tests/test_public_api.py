@@ -158,6 +158,38 @@ def test_spec_front_door_exports():
         "Session", "SpannerSpec", "FaultModel", "BuildReport",
         "available_algorithms", "get_algorithm", "register_algorithm",
         "describe_algorithms", "SpecError", "InvalidSpec", "UnknownAlgorithm",
+        "FaultScenario", "SurvivorView",
     ):
         assert name in repro.__all__, name
         assert hasattr(repro, name), name
+
+
+def test_fault_scenario_exports():
+    """The scenario vocabulary is exported from repro.graph and repro."""
+    import repro
+    import repro.graph as rg
+
+    for name in (
+        "FaultScenario", "SurvivorView", "scenario_fault_sets",
+        "scenario_edge_fault_sets",
+    ):
+        assert name in rg.__all__, name
+        assert hasattr(rg, name), name
+    assert repro.FaultScenario is rg.FaultScenario
+    assert repro.SurvivorView is rg.SurvivorView
+
+
+def test_scenario_parameter_conventions():
+    """Every per-survivor pipeline accepts the scenarios= vocabulary."""
+    import repro
+    from repro.core import edge_fault_tolerant_spanner
+    from repro.core.edge_faults import is_edge_fault_tolerant_spanner
+
+    for fn in (
+        repro.fault_tolerant_spanner,
+        repro.clpr_fault_tolerant_spanner,
+        edge_fault_tolerant_spanner,
+        repro.is_fault_tolerant_spanner,
+        is_edge_fault_tolerant_spanner,
+    ):
+        assert "scenarios" in inspect.signature(fn).parameters, fn.__name__
