@@ -31,6 +31,19 @@ PR 5 rewired the LOCAL-model simulator:
   simulator substrate (message routing, inbox construction, round
   bookkeeping) rather than any algorithm's local computation.
 
+PR 10 added the optional compiled (C) tier:
+
+* **greedy compiled** (``greedy_compiled``) — the bounded bidirectional
+  Dijkstra inside the greedy spanner, run in the C backend
+  (:mod:`repro.compiled`) vs the pinned dict reference;
+* **simplex pivot loop** (``simplex_compiled``) — the two-phase primal
+  simplex with the pivot/ratio-test loop in C vs the reference python
+  loop, same tolerances and pivot sequence.
+
+Both pairs are skipped (with a printed note) when the backend cannot
+build/load, so the committed baseline from a full container always
+carries them but a bare environment can still run the rest.
+
 Each pair runs the *same seeds* and asserts identical outputs before
 timing, so the speedups compare equal work. Results are written to
 ``BENCH_perf_kernels.json`` at the repo root — committed as the perf
@@ -72,6 +85,11 @@ RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_perf_kernels.json")
 #: ~7-27x on the reference container; the margin absorbs slow CI).
 MIN_HEADLINE_SPEEDUP = 5.0
 
+#: Acceptance floor for the compiled greedy Dijkstra over the dict path
+#: at n = 400 (PR 10 tentpole criterion; measured well above on the
+#: reference container).
+MIN_COMPILED_GREEDY_SPEEDUP = 3.0
+
 
 def _clock(fn, repeats: int = 1) -> float:
     # Like timeit: collections are scheduled by allocation pressure from
@@ -110,6 +128,73 @@ def bench_greedy(n: int = 400, p: float = 0.08, k: float = 3.0) -> dict:
         "params": {"p": p, "k": k},
         "dict_seconds": t_slow,
         "csr_seconds": t_fast,
+        "speedup": t_slow / t_fast,
+    }
+
+
+def bench_greedy_compiled(n: int = 400, p: float = 0.08, k: float = 3.0) -> dict:
+    """Compiled greedy Dijkstra vs the pinned dict reference (PR 10).
+
+    Same host/seed as :func:`bench_greedy` so the three tiers (dict,
+    CSR-indexed, compiled) are directly comparable across the committed
+    rows. Requires the C backend; callers gate on ``compiled_available``.
+    """
+    g = gnp_random_graph(n, p, seed=1, weight_range=(0.5, 3.0))
+    fast = lambda: greedy_spanner(g, k, method="compiled")  # noqa: E731
+    slow = lambda: greedy_spanner(g, k, method="dict")  # noqa: E731
+    assert _edge_set(fast()) == _edge_set(slow())
+    return _pair_row(
+        "greedy_compiled", g, fast, slow, {"p": p, "k": k},
+        fast_key="compiled_seconds",
+    )
+
+
+def _random_standard_lp(seed: int, m: int, n: int):
+    """A feasible integer-structured standard-form LP (min c^T x, Ax=b, x>=0).
+
+    ``b = A @ x0`` for an integer ``x0 >= 0`` guarantees feasibility;
+    rows with negative ``b`` are sign-flipped to meet the ``b >= 0``
+    precondition. Non-negative costs keep the optimum bounded.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-3, 4, size=(m, n)).astype(float)
+    x0 = rng.integers(0, 4, size=n).astype(float)
+    b = a @ x0
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+    c = rng.integers(0, 6, size=n).astype(float)
+    return a, b, c
+
+
+def bench_simplex_compiled(m: int = 40, n: int = 80, seed: int = 6) -> dict:
+    """Compiled simplex pivot loop vs the reference python loop (PR 10).
+
+    Two-phase solve of one feasible integer-structured LP; statuses,
+    bases and solution vectors are asserted identical before timing
+    (integer data keeps the two tiers bit-identical, not just close).
+    """
+    from repro.lp.simplex import solve_standard_form
+
+    a, b, c = _random_standard_lp(seed, m, n)
+    fast = lambda: solve_standard_form(a, b, c, method="compiled")  # noqa: E731
+    slow = lambda: solve_standard_form(a, b, c, method="dict")  # noqa: E731
+    status_cc, x_cc, obj_cc = fast()
+    status_py, x_py, obj_py = slow()
+    assert status_cc == status_py == "optimal"
+    assert obj_cc == obj_py
+    assert x_cc.tolist() == x_py.tolist()
+    t_fast = _clock(fast, repeats=3)
+    t_slow = _clock(slow, repeats=2)
+    return {
+        "name": "simplex_compiled",
+        "n": n,
+        "m": m,
+        "params": {"seed": seed, "form": "standard, integer data"},
+        "dict_seconds": t_slow,
+        "compiled_seconds": t_fast,
         "speedup": t_slow / t_fast,
     }
 
@@ -189,8 +274,14 @@ def bench_verifier(n: int, p: float = 0.1, r: int = 1) -> dict:
     }
 
 
-def _pair_row(name, graph, fast_fn, slow_fn, params, fast_repeats=3):
-    """Time a csr/dict pair (callers assert output identity first)."""
+def _pair_row(name, graph, fast_fn, slow_fn, params, fast_repeats=3,
+              fast_key="csr_seconds"):
+    """Time a kernel/dict pair (callers assert output identity first).
+
+    ``fast_key`` names the fast-side column — ``"csr_seconds"`` for the
+    CSR tier, ``"compiled_seconds"`` for the C-backend pairs — so the
+    committed JSON says which tier produced each number.
+    """
     t_fast = _clock(fast_fn, repeats=fast_repeats)
     t_slow = _clock(slow_fn, repeats=2)
     return {
@@ -199,7 +290,7 @@ def _pair_row(name, graph, fast_fn, slow_fn, params, fast_repeats=3):
         "m": graph.num_edges,
         "params": params,
         "dict_seconds": t_slow,
-        "csr_seconds": t_fast,
+        fast_key: t_fast,
         "speedup": t_slow / t_fast,
     }
 
@@ -422,6 +513,8 @@ def bench_lp_assembly(n: int = 60, p: float = 0.3, r: int = 1) -> dict:
 
 
 def run_benchmarks() -> list:
+    from repro.compiled import compiled_available, compiled_unavailable_reason
+
     rows = [
         bench_greedy(),
         bench_conversion(),
@@ -437,6 +530,15 @@ def run_benchmarks() -> list:
         bench_edge_conversion(),
         bench_distributed_ft(),
     ]
+    if compiled_available():
+        rows.append(bench_greedy_compiled())
+        rows.append(bench_simplex_compiled())
+    else:
+        print(
+            "note: compiled backend unavailable "
+            f"({compiled_unavailable_reason()}); skipping greedy_compiled "
+            "and simplex_compiled — do not commit a baseline from this run"
+        )
     payload = {
         "description": "CSR fast-path kernels vs dict implementations",
         "benchmarks": rows,
@@ -451,16 +553,17 @@ def _report(rows) -> None:
     from repro.analysis import print_table
 
     print_table(
-        ["benchmark", "n", "m", "dict s", "CSR s", "speedup"],
+        ["benchmark", "n", "m", "dict s", "kernel s", "speedup"],
         [
             [
                 row["name"], row["n"], row["m"],
-                round(row["dict_seconds"], 4), round(row["csr_seconds"], 4),
+                round(row["dict_seconds"], 4),
+                round(row.get("csr_seconds", row.get("compiled_seconds")), 4),
                 round(row["speedup"], 1),
             ]
             for row in rows
         ],
-        title="Perf: CSR kernel layer vs dict implementations",
+        title="Perf: kernel tiers (CSR / compiled) vs dict implementations",
     )
 
 
@@ -484,6 +587,12 @@ def _assert_headline(rows) -> None:
     for name in ("tz_distance_oracle", "clpr_baseline", "padded_decomposition",
                  "ft2_lp_row_assembly"):
         assert by_name[name]["speedup"] >= 1.0
+    # PR 10: the compiled tier, when the backend loaded. The greedy
+    # Dijkstra must beat dict by 3x at n = 400 (the acceptance
+    # criterion); the simplex pivot loop must at least never lose.
+    if "greedy_compiled" in by_name:
+        assert by_name["greedy_compiled"]["speedup"] >= MIN_COMPILED_GREEDY_SPEEDUP
+        assert by_name["simplex_compiled"]["speedup"] >= 1.0
 
 
 def test_perf_kernels(benchmark):

@@ -33,10 +33,21 @@ pytestmark = pytest.mark.perf_regression
 #: Smoke floor: every kernel must still beat its dict reference.
 MIN_SMOKE_SPEEDUP = 1.0
 
+#: Benchmark names that need the optional C backend (:mod:`repro.compiled`).
+_COMPILED_PAIRS = frozenset({"greedy_compiled", "simplex_compiled"})
+
 
 def smoke_rows() -> list:
-    """The full benchmark pair set at reduced sizes."""
-    return [
+    """The full benchmark pair set at reduced sizes.
+
+    The compiled-tier pairs run only when the optional C backend loads;
+    without it they are excused from the baseline-coverage check (see
+    :func:`check`) rather than failed — a machine without a C compiler
+    must still be able to run the gate.
+    """
+    from repro.compiled import compiled_available
+
+    rows = [
         bench.bench_greedy(n=160, p=0.12),
         bench.bench_conversion(n=160, p=0.08, iters=8),
         bench.bench_verifier(160),
@@ -50,6 +61,10 @@ def smoke_rows() -> list:
         bench.bench_edge_conversion(n=160, p=0.08, iters=8),
         bench.bench_distributed_ft(n=96, p=0.1, iters=4),
     ]
+    if compiled_available():
+        rows.append(bench.bench_greedy_compiled(n=160, p=0.12))
+        rows.append(bench.bench_simplex_compiled(m=24, n=48))
+    return rows
 
 
 def _committed_names() -> set:
@@ -79,6 +94,21 @@ def check(rows=None) -> list:
         for name in map(_smoke_name, _committed_names())
         if name not in covered
     }
+    from repro.compiled import compiled_available, compiled_unavailable_reason
+
+    if not compiled_available():
+        # The compiled-tier rows in the committed baseline come from a
+        # container with a working C toolchain; a backend-less machine
+        # cannot re-measure them, so they are excused — visibly — rather
+        # than reported as regressions.
+        excused = {name for name in missing if name in _COMPILED_PAIRS}
+        if excused:
+            print(
+                f"note: compiled backend unavailable "
+                f"({compiled_unavailable_reason()}); skipping "
+                f"{sorted(excused)} from the coverage check"
+            )
+        missing -= excused
     assert not missing, (
         f"kernels in the committed baseline but absent from the smoke suite: {missing}"
     )

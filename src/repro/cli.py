@@ -114,10 +114,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="deterministic seed (default 0)")
     common.add_argument(
         "--method",
-        choices=["auto", "csr", "dict"],
+        choices=["auto", "csr", "dict", "compiled"],
         default=None,
-        help="kernel dispatch: CSR fast path, dict reference, or "
-             "size-based auto (default auto)",
+        help="kernel dispatch: CSR fast path, dict reference, compiled C "
+             "backend (errors if it cannot build/load), or auto (default; "
+             "picks by size and backend availability)",
     )
     common.add_argument(
         "--json",

@@ -36,7 +36,11 @@ from ..graph.scenario import FaultScenario
 from ..registry import register_algorithm
 from ..rng import RandomLike, derive_rng, ensure_rng
 from ..spanners.bounds import conversion_iterations, conversion_iterations_light
-from ..spanners.greedy import IndexedGreedyKernel, greedy_spanner
+from ..spanners.greedy import (
+    _check_method as _greedy_check_method,
+    greedy_spanner,
+    make_greedy_kernel,
+)
 
 Vertex = Hashable
 
@@ -72,6 +76,20 @@ def base_algorithm_caller(
         return base_algorithm(graph, k, method=method)
 
     return bound
+
+
+def engine_resolved_method(method: str) -> str:
+    """The dispatch tier a greedy-base conversion actually engages.
+
+    ``"dict"`` forces the reference pipeline; anything else runs the
+    oversampling engine on the host CSR snapshot, whose greedy kernel is
+    ``"compiled"`` when the optional C backend serves the request and
+    ``"csr"`` otherwise — the value the registry adapters report as
+    ``resolved_method`` so build reports name the true path.
+    """
+    if method == "dict":
+        return "dict"
+    return "compiled" if _greedy_check_method(method) == "compiled" else "csr"
 
 
 @dataclass
@@ -148,9 +166,17 @@ class _OversamplingEngine:
     ``induced_subgraph`` dict is ever built — and (b) a greedy kernel run
     over the surviving ids. The union spanner is a plain set of integer
     edge ids until :meth:`union_graph` materializes it.
+
+    ``method`` picks the kernel behind step (b) through the greedy
+    dispatch rule: ``"auto"`` rides the compiled C kernel when
+    :mod:`repro.compiled` is available (every masked survivor iteration
+    benefits, since surviving ids feed the kernel unchanged) and the
+    interpreted indexed kernel otherwise; ``"compiled"`` requires the
+    backend. :attr:`resolved_method` records the tier actually engaged
+    (``"compiled"`` or ``"csr"``) for honest build reports.
     """
 
-    def __init__(self, graph: BaseGraph, k: float):
+    def __init__(self, graph: BaseGraph, k: float, method: str = "auto"):
         self.graph = graph
         self.k = k
         self.csr = snapshot(graph)
@@ -162,7 +188,11 @@ class _OversamplingEngine:
             self.sorted_ids = np.asarray(self.sorted_ids, dtype=np.int64)
         except ImportError:  # pragma: no cover
             pass
-        self.kernel = IndexedGreedyKernel(self.csr.num_vertices, self.csr.directed)
+        resolved = _greedy_check_method(method)
+        self.resolved_method = "compiled" if resolved == "compiled" else "csr"
+        self.kernel = make_greedy_kernel(
+            self.csr.num_vertices, self.csr.directed, resolved
+        )
         self.union_ids: Set[int] = set()
 
     def iterate(self, view) -> List[int]:
@@ -335,9 +365,10 @@ def fault_tolerant_spanner(
         raise FaultToleranceError(
             f"survival_prob must be in (0, 1], got {survival_prob}"
         )
-    if method not in ("auto", "csr", "dict", "indexed"):
+    if method not in ("auto", "csr", "dict", "indexed", "compiled"):
         raise FaultToleranceError(
-            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+            f"method must be 'auto', 'csr', 'indexed', 'dict', or "
+            f"'compiled', got {method!r}"
         )
     use_engine = base_algorithm is greedy_spanner and method != "dict"
     base_algorithm = base_algorithm_caller(base_algorithm, method)
@@ -387,7 +418,7 @@ def fault_tolerant_spanner(
     # The default greedy base runs on the CSR fast path: one host
     # snapshot, per-iteration survivor views, integer edge-id union.
     # Custom base algorithms still get the dict pipeline below.
-    engine = _OversamplingEngine(graph, k) if use_engine else None
+    engine = _OversamplingEngine(graph, k, method) if use_engine else None
 
     for i in range(alpha):
         if scenarios is not None:
@@ -436,9 +467,10 @@ def fault_tolerant_spanner_until_valid(
     """
     if r < 1:
         raise FaultToleranceError("the adaptive variant requires r >= 1")
-    if method not in ("auto", "csr", "dict", "indexed"):
+    if method not in ("auto", "csr", "dict", "indexed", "compiled"):
         raise FaultToleranceError(
-            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+            f"method must be 'auto', 'csr', 'indexed', 'dict', or "
+            f"'compiled', got {method!r}"
         )
     use_engine = base_algorithm is greedy_spanner and method != "dict"
     base_algorithm = base_algorithm_caller(base_algorithm, method)
@@ -448,7 +480,7 @@ def fault_tolerant_spanner_until_valid(
     rng = ensure_rng(seed)
     stats = ConversionStats(iterations=0)
     vertices = list(graph.vertices())
-    engine = _OversamplingEngine(graph, k) if use_engine else None
+    engine = _OversamplingEngine(graph, k, method) if use_engine else None
     materialized: Set[int] = set()
     done = 0
     while done < max_iterations:
@@ -533,6 +565,7 @@ def conversion_stats_dict(stats: ConversionStats) -> dict:
     directed=True,
     fault_tolerant=True,
     csr_path=True,
+    compiled_path=True,
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> fault_tolerant_spanner``."""
@@ -553,9 +586,10 @@ def _registry_build(graph: BaseGraph, spec, seed):
     )
     stats = conversion_stats_dict(result.stats)
     if spec.param("base_algorithm", "greedy") == "greedy":
-        # The greedy-base engine runs on the CSR snapshot at every size
-        # unless the dict pipeline was forced.
-        stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
+        # The greedy-base engine runs on the host snapshot at every
+        # size (compiled kernel when the C backend serves) unless the
+        # dict pipeline was forced.
+        stats["resolved_method"] = engine_resolved_method(spec.method)
     return result, stats
 
 
@@ -641,6 +675,7 @@ def resolve_validity_check(
     fault_tolerant=True,
     fault_kinds=("vertex",),
     csr_path=True,
+    compiled_path=True,
 )
 def _registry_build_adaptive(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> fault_tolerant_spanner_until_valid``.

@@ -47,6 +47,7 @@ from .conversion import (
     _OversamplingEngine,
     base_algorithm_caller,
     conversion_stats_dict,
+    engine_resolved_method,
     resolve_base_algorithm,
     resolve_iterations,
     survival_probability,
@@ -113,9 +114,10 @@ def edge_fault_tolerant_spanner(
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
     if r < 0:
         raise FaultToleranceError(f"r must be nonnegative, got {r}")
-    if method not in ("auto", "csr", "dict", "indexed"):
+    if method not in ("auto", "csr", "dict", "indexed", "compiled"):
         raise FaultToleranceError(
-            f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+            f"method must be 'auto', 'csr', 'indexed', 'dict', or "
+            f"'compiled', got {method!r}"
         )
     if scenarios is not None:
         scenarios = list(scenarios)
@@ -162,7 +164,7 @@ def edge_fault_tolerant_spanner(
     # With the default greedy base the loop shares the vertex pipeline's
     # oversampling engine: one host snapshot, per-iteration edge-masked
     # views, integer edge-id union. Custom bases keep the dict pipeline.
-    engine = _OversamplingEngine(graph, k) if use_engine else None
+    engine = _OversamplingEngine(graph, k, method) if use_engine else None
 
     for i in range(alpha):
         if scenarios is not None:
@@ -318,6 +320,7 @@ def is_edge_ft_2spanner(spanner: BaseGraph, graph: BaseGraph, r: int) -> bool:
     # The default greedy base runs every iteration on edge-masked views
     # of one host CSR snapshot, so sessions should prime it.
     csr_path=True,
+    compiled_path=True,
     fault_kinds=("none", "edge"),
 )
 def _registry_build(graph: BaseGraph, spec, seed):
@@ -339,7 +342,7 @@ def _registry_build(graph: BaseGraph, spec, seed):
     stats = conversion_stats_dict(result.stats)
     if spec.param("base_algorithm", "greedy") == "greedy":
         # The greedy base runs the oversampling engine on edge-masked
-        # views of the host snapshot (size-independent) unless the dict
-        # reference was forced.
-        stats["resolved_method"] = "dict" if spec.method == "dict" else "csr"
+        # views of the host snapshot (size-independent, compiled kernel
+        # when the C backend serves) unless the dict reference was forced.
+        stats["resolved_method"] = engine_resolved_method(spec.method)
     return result, stats

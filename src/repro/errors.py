@@ -13,6 +13,16 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class CompiledBackendUnavailable(ReproError):
+    """``method="compiled"`` was requested but the C backend cannot serve.
+
+    The message names the concrete obstacle (no C compiler on ``PATH``,
+    a failed build, or the ``REPRO_DISABLE_COMPILED`` switch) and the
+    working alternatives; ``method="auto"`` never raises this — it falls
+    back to the interpreted tiers silently.
+    """
+
+
 class GraphError(ReproError):
     """Structural graph errors (missing vertices, duplicate edges, ...)."""
 

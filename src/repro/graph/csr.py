@@ -1079,8 +1079,10 @@ class BFSBalls:
 
 #: The accepted values of the ``method=`` kwarg shared by the spanner /
 #: decomposition constructors (greedy, Thorup–Zwick, Baswana–Sen, the CLPR
-#: baseline, and the padded-decomposition sampler).
-METHODS = ("auto", "csr", "dict")
+#: baseline, and the padded-decomposition sampler). ``"compiled"`` is the
+#: optional C-backend tier (see :mod:`repro.compiled`) served only by
+#: algorithms whose registry row sets ``compiled_path``.
+METHODS = ("auto", "csr", "dict", "compiled")
 
 
 def resolve_method(
@@ -1089,43 +1091,80 @@ def resolve_method(
     *,
     directed: bool = False,
     directed_csr: bool = True,
+    compiled_path: bool = False,
 ) -> str:
-    """The one dispatch rule behind every ``method="auto"|"csr"|"dict"`` kwarg.
+    """The one dispatch rule behind every shared ``method=`` kwarg.
 
-    * ``"dict"`` — always run the reference dict-of-dict implementation.
+    The accepted values are exactly :data:`METHODS` —
+    ``"auto"``, ``"csr"``, ``"dict"``, and ``"compiled"``:
+
+    * ``"dict"`` — always run the reference dict-of-dict implementation
+      (the pinned reference every other tier is property-tested against).
     * ``"csr"`` — always run the CSR fast path (even on tiny graphs).
-    * ``"auto"`` — the CSR path iff the graph has at least
-      :data:`MIN_DISPATCH_VERTICES` vertices; below that the snapshot
+    * ``"compiled"`` — run the C-backend kernels
+      (:mod:`repro.compiled`). Raises ``ValueError`` when the algorithm
+      has no compiled kernel (``compiled_path=False``) and
+      :class:`repro.errors.CompiledBackendUnavailable` when the backend
+      cannot build/load — an explicit request never downgrades silently.
+    * ``"auto"`` — the compiled tier iff the caller has one
+      (``compiled_path=True``), the backend is available, and the graph
+      has at least :data:`MIN_DISPATCH_VERTICES` vertices; otherwise the
+      CSR path at the same size threshold; below it the snapshot
       overhead dominates and the dict implementations win.
 
-    ``directed``/``directed_csr`` describe the *caller's* compiled path.
+    ``directed``/``directed_csr`` describe the *caller's* fast path.
     Most consumers ride the directed CSR snapshot natively (the greedy
     indexed kernel keeps a reverse adjacency, the Theorem 2.1 engine and
     the path queries traverse out-edges) and can leave the defaults
-    alone. A compiled path that is genuinely undirected-only — TZ and
+    alone. A fast path that is genuinely undirected-only — TZ and
     CLPR need reverse traversal the directed snapshot does not store —
     passes ``directed=graph.directed, directed_csr=False``: ``"auto"``
     then resolves to ``"dict"`` on digraphs, and an explicit ``"csr"``
-    raises instead of silently downgrading, so a caller who pinned the
-    fast path learns the truth instead of benchmarking the wrong kernel.
+    (or ``"compiled"``) raises instead of silently downgrading, so a
+    caller who pinned the fast path learns the truth instead of
+    benchmarking the wrong kernel.
 
-    Both paths of every algorithm are pinned output-identical (same RNG
-    stream, same edge sets / cluster assignments) by the property tests in
-    ``tests/test_algorithms_csr.py``, so the choice is performance-only.
+    All tiers of every algorithm are pinned output-identical (same RNG
+    stream, same edge sets / cluster assignments) by the property tests
+    in ``tests/test_algorithms_csr.py`` and ``tests/test_compiled.py``,
+    so the choice is performance-only.
     """
     if method not in METHODS:
-        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+        raise ValueError(
+            f"method must be one of {METHODS} "
+            f"('auto' = size/backend-based dispatch, 'csr' = the CSR "
+            f"fast path, 'dict' = the pinned reference, 'compiled' = "
+            f"the optional C backend), got {method!r}"
+        )
     if directed and not directed_csr:
-        if method == "csr":
+        if method in ("csr", "compiled"):
             raise ValueError(
-                "method='csr' requested but this pipeline's compiled "
+                f"method={method!r} requested but this pipeline's fast "
                 "kernels are undirected-only (the directed CSR snapshot "
                 "stores out-edges only); use method='auto'/'dict' or an "
                 "undirected host"
             )
         return "dict"
+    if method == "compiled":
+        if not compiled_path:
+            raise ValueError(
+                "method='compiled' requested but this algorithm has no "
+                "compiled kernel (registry capability compiled_path is "
+                "false); use method='auto', 'csr', or 'dict'"
+            )
+        from ..compiled import require_compiled
+
+        require_compiled()  # raises CompiledBackendUnavailable if absent
+        return "compiled"
     if method == "auto":
-        return "csr" if num_vertices >= MIN_DISPATCH_VERTICES else "dict"
+        if num_vertices < MIN_DISPATCH_VERTICES:
+            return "dict"
+        if compiled_path:
+            from ..compiled import compiled_available
+
+            if compiled_available():
+                return "compiled"
+        return "csr"
     return method
 
 

@@ -64,7 +64,12 @@ class _Tableau:
         cb = self.c[self.basis]
         return self.c - cb @ self.a
 
-    def run(self, max_iterations: int, entering_tol: float = _TOL) -> str:
+    def run(
+        self,
+        max_iterations: int,
+        entering_tol: float = _TOL,
+        compiled: bool = False,
+    ) -> str:
         """Run primal simplex (Bland's rule). Returns "optimal"/"unbounded".
 
         ``entering_tol`` is the dual-feasibility threshold: columns whose
@@ -73,7 +78,25 @@ class _Tableau:
         default dual tolerance — chasing descent directions whose rate is
         below what the cross-check backend considers optimal just walks
         the optimum a few ulps away from the reference answer.
+
+        ``compiled=True`` runs the same loop in the C backend
+        (:mod:`repro.compiled.simplex`): identical tolerances, entering
+        scan, ratio-test tie-breaks and unbounded envelope, mutating the
+        tableau in place exactly like this method — the two paths are
+        pinned to the same pivot sequence by the property tests.
         """
+        if compiled:
+            from ..compiled.simplex import simplex_run
+
+            status = simplex_run(
+                self.a, self.b, self.c, self.basis,
+                max_iterations, entering_tol, _TOL, _DUAL_TOL,
+            )
+            if status is None:
+                raise SolverLimit(
+                    f"simplex exceeded {max_iterations} iterations"
+                )
+            return status
         m, _n = self.a.shape
         for _ in range(max_iterations):
             reduced = self.reduced_costs()
@@ -136,17 +159,47 @@ class _Tableau:
         return float(self.c[self.basis] @ self.b)
 
 
+def _resolve_lp_method(method: str) -> bool:
+    """Whether the pivot loop runs compiled, from the shared vocabulary.
+
+    The tableau is already dense numpy whatever the tier, so for the LP
+    backend ``"csr"`` and ``"dict"`` both mean the reference python
+    loop; ``"auto"`` upgrades to the compiled loop when the optional C
+    backend (:mod:`repro.compiled`) is available, and ``"compiled"``
+    requires it (raising
+    :class:`repro.errors.CompiledBackendUnavailable` otherwise).
+    """
+    if method in ("dict", "csr"):
+        return False
+    if method == "auto":
+        from ..compiled import compiled_available
+
+        return compiled_available()
+    if method == "compiled":
+        from ..compiled import require_compiled
+
+        require_compiled()
+        return True
+    raise ValueError(
+        f"method must be 'auto', 'csr', 'dict', or 'compiled', got {method!r}"
+    )
+
+
 def solve_standard_form(
     a: np.ndarray,
     b: np.ndarray,
     c: np.ndarray,
     max_iterations: int = 50_000,
+    method: str = "auto",
 ) -> Tuple[str, Optional[np.ndarray], float]:
     """Two-phase simplex for ``min c^T x : Ax = b, x >= 0``.
 
     Returns ``(status, x, objective)`` with status in
-    {"optimal", "infeasible", "unbounded"}.
+    {"optimal", "infeasible", "unbounded"}. ``method`` picks the pivot
+    loop backend (see :func:`_resolve_lp_method`); every tier produces
+    the same pivot sequence, bases and solution vector.
     """
+    compiled = _resolve_lp_method(method)
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float).copy()
     c = np.asarray(c, dtype=float).copy()
@@ -180,7 +233,7 @@ def solve_standard_form(
     c1 = np.concatenate([np.zeros(n), np.ones(m)])
     basis = list(range(n, n + m))
     tableau = _Tableau(a1, b, c1, basis)
-    status = tableau.run(max_iterations)
+    status = tableau.run(max_iterations, compiled=compiled)
     if status != "optimal" or tableau.objective() > 1e-6:
         return "infeasible", None, math.inf
 
@@ -205,7 +258,7 @@ def solve_standard_form(
     b2 = tableau.b[keep_rows]
     basis2 = [tableau.basis[i] for i in keep_rows]
     tableau2 = _Tableau(a2, b2, c.copy(), basis2)
-    status = tableau2.run(max_iterations, entering_tol=_DUAL_TOL)
+    status = tableau2.run(max_iterations, entering_tol=_DUAL_TOL, compiled=compiled)
     if status == "unbounded":
         return "unbounded", None, -math.inf
     x = tableau2.solution(n)
@@ -316,8 +369,16 @@ def _to_standard_form(lp: LinearProgram):
     return a, b, c, recover, objective_shift
 
 
-def solve_with_simplex(lp: LinearProgram, max_iterations: int = 50_000) -> LPSolution:
-    """Solve a :class:`LinearProgram` with the two-phase simplex."""
+def solve_with_simplex(
+    lp: LinearProgram, max_iterations: int = 50_000, method: str = "auto"
+) -> LPSolution:
+    """Solve a :class:`LinearProgram` with the two-phase simplex.
+
+    ``method`` selects the pivot-loop backend exactly as in
+    :func:`solve_standard_form`; the default ``"auto"`` rides the
+    compiled loop when :mod:`repro.compiled` is available and the
+    reference python loop otherwise, with identical output either way.
+    """
     if lp.num_variables == 0:
         return LPSolution(status="optimal", objective=0.0, values={})
     a, b, c, recover, shift = _to_standard_form(lp)
@@ -337,7 +398,7 @@ def solve_with_simplex(lp: LinearProgram, max_iterations: int = 50_000) -> LPSol
                 values[name] = var.upper
             total += var.objective * values[name]
         return LPSolution(status="optimal", objective=total, values=values)
-    status, x, objective = solve_standard_form(a, b, c, max_iterations)
+    status, x, objective = solve_standard_form(a, b, c, max_iterations, method=method)
     if status != "optimal":
         return LPSolution(status=status, objective=math.inf)
     values = recover(x)

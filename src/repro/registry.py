@@ -79,6 +79,11 @@ class AlgorithmInfo:
     fault_tolerant: bool = False
     distributed: bool = False
     csr_path: bool = False
+    #: Whether the builder can serve ``method="compiled"`` — i.e. its hot
+    #: loop has a kernel in the optional C backend (:mod:`repro.compiled`).
+    #: Capability only: whether the backend actually loads on this machine
+    #: is a runtime question answered by dispatch, not the registry.
+    compiled_path: bool = False
     #: Fault-model kinds the builder accepts (subset of spec.FAULT_KINDS).
     fault_kinds: Tuple[str, ...] = ("none",)
     #: "any" (any real k >= 1), "odd" (odd integers 2t-1), or "fixed".
@@ -97,6 +102,7 @@ class AlgorithmInfo:
             "fault_tolerant": self.fault_tolerant,
             "distributed": self.distributed,
             "csr_path": self.csr_path,
+            "compiled_path": self.compiled_path,
             "fault_kinds": list(self.fault_kinds),
             "stretch_kind": self.stretch_kind,
             "fixed_stretch": self.fixed_stretch,
@@ -145,6 +151,7 @@ def register_algorithm(
     fault_tolerant: bool = False,
     distributed: bool = False,
     csr_path: bool = False,
+    compiled_path: bool = False,
     fault_kinds: Optional[Tuple[str, ...]] = None,
     stretch_kind: str = "any",
     fixed_stretch: Optional[float] = None,
@@ -201,6 +208,7 @@ def register_algorithm(
             fault_tolerant=fault_tolerant,
             distributed=distributed,
             csr_path=csr_path,
+            compiled_path=compiled_path,
             fault_kinds=fault_kinds,
             stretch_kind=stretch_kind,
             fixed_stretch=fixed_stretch,

@@ -183,11 +183,15 @@ class Session:
         host = self._resolve_graph(spec, graph)
         self._check_capabilities(info, spec, host)
         seed = self._resolve_seed(spec)
-        resolved = resolve_method(spec.method, host.num_vertices)
+        resolved = resolve_method(
+            spec.method, host.num_vertices, compiled_path=info.compiled_path
+        )
         # Only algorithms with a CSR path consume a host snapshot; for
         # the rest (LP/rounding and LOCAL-simulator pipelines) building
         # one would be pure waste and would inflate the reuse counters.
-        if resolved == "csr" and host.num_vertices and info.csr_path:
+        # The compiled tier rides the same snapshot (its kernels consume
+        # the half-edge arrays), so it primes identically.
+        if resolved in ("csr", "compiled") and host.num_vertices and info.csr_path:
             self._prime_snapshot(host)
         started = time.perf_counter()
         artifact, stats = info.builder(host, spec, seed)

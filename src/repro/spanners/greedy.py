@@ -204,14 +204,32 @@ class IndexedGreedyKernel:
         return chosen
 
 
+def make_greedy_kernel(n: int, directed: bool, resolved: str):
+    """The greedy kernel for a resolved method: compiled or interpreted.
+
+    ``resolved`` is the output of :func:`_check_method` —
+    ``"compiled"`` returns a
+    :class:`repro.compiled.greedy.CompiledGreedyKernel` (raising
+    :class:`repro.errors.CompiledBackendUnavailable` when the backend
+    cannot load), anything else the interpreted
+    :class:`IndexedGreedyKernel`. Both expose the same
+    ``run``/``run_edge_ids`` surface and produce identical outputs.
+    """
+    if resolved == "compiled":
+        from ..compiled.greedy import CompiledGreedyKernel
+
+        return CompiledGreedyKernel(n, directed)
+    return IndexedGreedyKernel(n, directed)
+
+
 def _greedy_indexed(
-    graph: BaseGraph, k: float, max_edges: Optional[int]
+    graph: BaseGraph, k: float, max_edges: Optional[int], resolved: str = "indexed"
 ) -> BaseGraph:
     verts = list(graph.vertices())
     index = {v: i for i, v in enumerate(verts)}
     edges = [(index[u], index[v], w) for u, v, w in graph.edges()]
     edges.sort(key=lambda e: e[2])  # stable: ties keep edges() order
-    kernel = IndexedGreedyKernel(len(verts), graph.directed)
+    kernel = make_greedy_kernel(len(verts), graph.directed, resolved)
     chosen = kernel.run(edges, k, max_edges=max_edges)
     spanner = type(graph)()
     spanner.add_vertices(verts)
@@ -223,18 +241,33 @@ def _greedy_indexed(
 def _check_method(method: str) -> str:
     """Normalize the shared ``method`` kwarg for the greedy entry points.
 
-    Accepts the unified ``"auto"|"csr"|"dict"`` vocabulary of
+    Accepts the unified ``"auto"|"csr"|"dict"|"compiled"`` vocabulary of
     :func:`repro.graph.csr.resolve_method` plus the historical
     ``"indexed"`` alias. The greedy kernel has no snapshot overhead (it
-    indexes once and never builds a CSR), so ``auto`` and ``csr`` both
-    resolve to the indexed kernel at every size.
+    indexes once and never builds a CSR), so dispatch ignores graph
+    size: ``csr`` and ``indexed`` resolve to the indexed kernel, and
+    ``auto`` resolves to the compiled kernel whenever the optional C
+    backend (:mod:`repro.compiled`) is available — falling back to the
+    indexed kernel silently when it is not. An explicit ``"compiled"``
+    raises :class:`repro.errors.CompiledBackendUnavailable` instead of
+    downgrading.
     """
-    if method in ("indexed", "auto", "csr"):
+    if method in ("indexed", "csr"):
         return "indexed"
+    if method == "auto":
+        from ..compiled import compiled_available
+
+        return "compiled" if compiled_available() else "indexed"
+    if method == "compiled":
+        from ..compiled import require_compiled
+
+        require_compiled()
+        return "compiled"
     if method == "dict":
         return "dict"
     raise ValueError(
-        f"method must be 'auto', 'csr', 'indexed', or 'dict', got {method!r}"
+        f"method must be 'auto', 'csr', 'indexed', 'dict', or "
+        f"'compiled', got {method!r}"
     )
 
 
@@ -262,12 +295,16 @@ def greedy_spanner(graph: BaseGraph, k: float, *, method: str = "indexed") -> Ba
     k:
         Stretch bound, ``k >= 1``.
     method:
-        ``"indexed"`` (default; ``"auto"`` and ``"csr"`` are accepted
-        aliases — see :func:`repro.graph.csr.resolve_method` for the
-        shared vocabulary) runs on the flat-array kernel;
-        ``"dict"`` forces the original dict-graph implementation. Both
-        produce the same spanner: edge ties are broken by the same
-        stable sort, and the keep/skip decisions agree — exactly on
+        ``"indexed"`` (default; ``"csr"`` is an accepted alias — see
+        :func:`repro.graph.csr.resolve_method` for the shared
+        vocabulary) runs on the flat-array kernel; ``"auto"`` upgrades
+        to the compiled C kernel (``"compiled"`` requests it
+        explicitly, raising when the backend is unavailable) whenever
+        :mod:`repro.compiled` loads, and ``"dict"`` forces the original
+        dict-graph implementation. All tiers produce the same spanner:
+        the compiled kernel replays the indexed kernel's float
+        operations exactly, edge ties are broken by the same stable
+        sort, and the indexed/dict keep/skip decisions agree — exactly on
         unit/integer weights, and up to float summation order otherwise
         (the bidirectional kernel sums path halves separately, so a path
         length within an ulp of the ``k·w`` slack boundary could in
@@ -281,9 +318,10 @@ def greedy_spanner(graph: BaseGraph, k: float, *, method: str = "indexed") -> Ba
     """
     if k < 1:
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
-    if _check_method(method) == "dict":
+    resolved = _check_method(method)
+    if resolved == "dict":
         return _greedy_dict(graph, k, None)
-    return _greedy_indexed(graph, k, None)
+    return _greedy_indexed(graph, k, None, resolved)
 
 
 def greedy_spanner_size_first(
@@ -299,9 +337,10 @@ def greedy_spanner_size_first(
         raise InvalidStretch(f"stretch must be >= 1, got {k}")
     if max_edges < 0:
         raise ValueError(f"max_edges must be nonnegative, got {max_edges}")
-    if _check_method(method) == "dict":
+    resolved = _check_method(method)
+    if resolved == "dict":
         return _greedy_dict(graph, k, max_edges)
-    return _greedy_indexed(graph, k, max_edges)
+    return _greedy_indexed(graph, k, max_edges, resolved)
 
 
 @register_algorithm(
@@ -311,6 +350,7 @@ def greedy_spanner_size_first(
     weighted=True,
     directed=True,
     csr_path=True,
+    compiled_path=True,
 )
 def _registry_build(graph: BaseGraph, spec, seed):
     """Spec adapter: ``SpannerSpec -> greedy_spanner`` (deterministic)."""
@@ -321,6 +361,7 @@ def _registry_build(graph: BaseGraph, spec, seed):
         )
     else:
         spanner = greedy_spanner(graph, spec.stretch, method=spec.method)
-    # Greedy has no snapshot to amortize, so its indexed kernel runs at
-    # every size — report the true path, not the generic size rule.
+    # Greedy has no snapshot to amortize, so its indexed (or compiled)
+    # kernel runs at every size — report the true path, not the generic
+    # size rule.
     return spanner, {"resolved_method": _check_method(spec.method)}

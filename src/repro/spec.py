@@ -44,8 +44,10 @@ from .graph.io import graph_from_dict, graph_to_dict
 FAULT_KINDS = ("none", "vertex", "edge")
 
 #: Accepted values of the ``method`` dispatch field (see
-#: :func:`repro.graph.csr.resolve_method`).
-METHODS = ("auto", "csr", "dict")
+#: :func:`repro.graph.csr.resolve_method`): size/backend-based auto,
+#: the CSR fast path, the pinned dict reference, or the optional
+#: compiled C backend (:mod:`repro.compiled`).
+METHODS = ("auto", "csr", "dict", "compiled")
 
 #: Format tag stamped into serialized spec documents.
 SPEC_FORMAT = "repro-spec"

@@ -64,7 +64,7 @@ class TestResolveMethod:
     def test_rejects_unknown(self):
         with pytest.raises(ValueError):
             resolve_method("fast", 100)
-        assert METHODS == ("auto", "csr", "dict")
+        assert METHODS == ("auto", "csr", "dict", "compiled")
 
 
 class TestThorupZwickEquivalence:

@@ -1,0 +1,319 @@
+"""The compiled (C backend) dispatch tier: equivalence and fallback.
+
+The contract mirrors the CSR tier's (``tests/test_algorithms_csr.py``)
+but is stricter where it can be: the compiled greedy kernel replays the
+indexed kernel's float operations exactly, so chosen edge-id lists are
+pinned *identical* — not merely equal as sets — and the compiled simplex
+loop replays ``_Tableau.run``'s pivot decisions, so bases, tableaus and
+solution vectors are pinned bit-identical on the integer-structured LPs
+hypothesis generates here.
+
+Fallback behaviour is tested in subprocesses with
+``REPRO_DISABLE_COMPILED=1``: ``method="auto"`` must silently serve the
+interpreted tiers, and ``method="compiled"`` must raise
+:class:`repro.errors.CompiledBackendUnavailable` with an actionable
+message. Those tests run everywhere — including the CI leg that has no
+backend at all.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.compiled import ENV_DISABLE, compiled_available, compiled_unavailable_reason
+from repro.core.conversion import fault_tolerant_spanner
+from repro.core.edge_faults import edge_fault_tolerant_spanner
+from repro.graph import Graph, connected_gnp_graph, csr_snapshot, gnp_random_graph
+from repro.graph.csr import resolve_method
+from repro.graph.scenario import FaultScenario
+from repro.lp.simplex import _DUAL_TOL, solve_standard_form
+from repro.spanners import greedy_spanner
+
+needs_backend = pytest.mark.skipif(
+    not compiled_available(),
+    reason=f"compiled backend unavailable: {compiled_unavailable_reason()}",
+)
+
+
+def edge_set(graph):
+    return sorted(map(tuple, graph.edges()))
+
+
+def weighted(seed, n=55, p=0.18):
+    return gnp_random_graph(n, p, seed=seed, weight_range=(0.5, 3.0))
+
+
+def unit(seed, n=50, p=0.15):
+    return connected_gnp_graph(n, p, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Greedy: compiled vs dict (the pinned reference)
+# ---------------------------------------------------------------------------
+
+
+@needs_backend
+class TestGreedyEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), k=st.sampled_from([1.5, 3.0, 5.0]))
+    def test_weighted_matches_dict(self, seed, k):
+        graph = weighted(seed)
+        fast = greedy_spanner(graph, k, method="compiled")
+        slow = greedy_spanner(graph, k, method="dict")
+        assert edge_set(fast) == edge_set(slow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), k=st.sampled_from([3.0, 5.0]))
+    def test_unweighted_matches_dict(self, seed, k):
+        graph = unit(seed)
+        fast = greedy_spanner(graph, k, method="compiled")
+        slow = greedy_spanner(graph, k, method="dict")
+        assert edge_set(fast) == edge_set(slow)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_indexed_and_compiled_pick_identical_ids(self, seed):
+        """Stronger than edge-set equality: identical pick order."""
+        from repro.compiled.greedy import CompiledGreedyKernel
+        from repro.spanners.greedy import IndexedGreedyKernel
+
+        graph = weighted(seed, n=40)
+        csr = csr_snapshot(graph)
+        ids = sorted(range(len(csr.edge_w)), key=csr.edge_w.__getitem__)
+        args = (ids, csr.edge_u, csr.edge_v, csr.edge_w, 3.0)
+        py = IndexedGreedyKernel(csr.num_vertices, csr.directed)
+        cc = CompiledGreedyKernel(csr.num_vertices, csr.directed)
+        assert cc.run_edge_ids(*args) == py.run_edge_ids(*args)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000), p_alive=st.sampled_from([0.3, 0.6, 0.9]))
+    def test_masked_survivor_view_matches_indexed(self, seed, p_alive):
+        """SurvivorView iterations feed pre-filtered ids to the kernel —
+        the compiled path must pick the same ids on every mask."""
+        import random
+
+        from repro.compiled.greedy import CompiledGreedyKernel
+        from repro.spanners.greedy import IndexedGreedyKernel
+
+        graph = weighted(seed, n=45)
+        csr = csr_snapshot(graph)
+        ids = np.asarray(
+            sorted(range(len(csr.edge_w)), key=csr.edge_w.__getitem__),
+            dtype=np.int64,
+        )
+        rng = random.Random(seed)
+        py = IndexedGreedyKernel(csr.num_vertices, csr.directed)
+        cc = CompiledGreedyKernel(csr.num_vertices, csr.directed)
+        for _ in range(4):
+            alive = [rng.random() < p_alive for _ in csr.verts]
+            surviving = csr.survivor_view(alive).filter_edge_ids(ids)
+            args = (surviving, csr.edge_u, csr.edge_v, csr.edge_w, 3.0)
+            assert cc.run_edge_ids(*args) == py.run_edge_ids(*args)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2000), r=st.sampled_from([1, 2]))
+    def test_conversion_matches_dict_pipeline(self, seed, r):
+        """Same seed, same RNG stream, same union spanner end-to-end."""
+        graph = weighted(seed, n=40)
+        fast = fault_tolerant_spanner(
+            graph, 3.0, r, seed=seed, iterations=10, method="compiled"
+        )
+        slow = fault_tolerant_spanner(
+            graph, 3.0, r, seed=seed, iterations=10, method="dict"
+        )
+        assert edge_set(fast.spanner) == edge_set(slow.spanner)
+        assert fast.stats.survivor_sizes == slow.stats.survivor_sizes
+
+    def test_edge_fault_scenarios_match_dict_pipeline(self):
+        graph = weighted(11, n=40)
+        scenarios = [
+            FaultScenario.edge([(u, v)])
+            for u, v, _w in list(graph.edges())[:6]
+        ]
+        fast = edge_fault_tolerant_spanner(
+            graph, 3.0, 1, scenarios=scenarios, method="compiled"
+        )
+        slow = edge_fault_tolerant_spanner(
+            graph, 3.0, 1, scenarios=scenarios, method="dict"
+        )
+        assert edge_set(fast.spanner) == edge_set(slow.spanner)
+
+
+# ---------------------------------------------------------------------------
+# Simplex: compiled vs the reference python pivot loop
+# ---------------------------------------------------------------------------
+
+
+def _random_feasible_lp(rng, m, n):
+    """A standard-form LP that is feasible by construction (b = A @ x0)."""
+    a = rng.integers(-4, 5, size=(m, n)).astype(float)
+    x0 = rng.integers(0, 4, size=n).astype(float)
+    b = a @ x0
+    c = rng.integers(-3, 4, size=n).astype(float)
+    return a, b, c
+
+
+@needs_backend
+class TestSimplexEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_feasible_lps_pin_value_and_basis(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 10))
+        n = m + int(rng.integers(1, 12))
+        a, b, c = _random_feasible_lp(rng, m, n)
+        s_cc, x_cc, obj_cc = solve_standard_form(a, b, c, method="compiled")
+        s_py, x_py, obj_py = solve_standard_form(a, b, c, method="dict")
+        assert s_cc == s_py
+        if s_py == "optimal":
+            # Integer data keeps every intermediate exactly representable,
+            # so the two pivot loops make identical decisions and the
+            # solutions (hence the optimal bases) are bit-identical.
+            assert np.array_equal(x_cc, x_py)
+            assert obj_cc == obj_py
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_float_lps_agree_on_value(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 8))
+        n = m + int(rng.integers(1, 10))
+        a = np.round(rng.uniform(-3, 3, size=(m, n)), 3)
+        x0 = np.round(rng.uniform(0, 2, size=n), 3)
+        b = a @ x0
+        c = np.round(rng.uniform(-2, 2, size=n), 3)
+        s_cc, x_cc, obj_cc = solve_standard_form(a, b, c, method="compiled")
+        s_py, x_py, obj_py = solve_standard_form(a, b, c, method="dict")
+        assert s_cc == s_py
+        if s_py == "optimal":
+            assert obj_cc == pytest.approx(obj_py, abs=1e-6)
+            assert np.allclose(x_cc, x_py, atol=1e-6)
+
+    def test_infeasible_and_unbounded_verdicts_match(self):
+        # x1 + x2 = -1 is infeasible for x >= 0 after the b-flip:
+        a = np.array([[1.0, 1.0]])
+        b = np.array([-1.0])
+        c = np.array([1.0, 1.0])
+        assert solve_standard_form(a, b, c, method="compiled")[0] == "infeasible"
+        # minimize -x1 with a free ray: x1 - x2 = 0 lets x1 grow forever.
+        a = np.array([[1.0, -1.0]])
+        b = np.array([0.0])
+        c = np.array([-1.0, 0.0])
+        assert solve_standard_form(a, b, c, method="compiled")[0] == "unbounded"
+        assert solve_standard_form(a, b, c, method="dict")[0] == "unbounded"
+
+    def test_tolerance_constants_thread_through(self):
+        # A cost at the dual tolerance is cleaned to zero on both paths.
+        a = np.array([[1.0, 1.0]])
+        b = np.array([1.0])
+        c = np.array([_DUAL_TOL / 2, 0.0])
+        s_cc, x_cc, obj_cc = solve_standard_form(a, b, c, method="compiled")
+        s_py, x_py, obj_py = solve_standard_form(a, b, c, method="dict")
+        assert (s_cc, obj_cc) == (s_py, obj_py)
+        assert np.array_equal(x_cc, x_py)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch surface: resolve_method, errors, no-backend fallback
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchSurface:
+    def test_resolve_method_error_names_all_four_tiers(self):
+        with pytest.raises(ValueError) as err:
+            resolve_method("fast", 100)
+        message = str(err.value)
+        for tier in ("auto", "csr", "dict", "compiled"):
+            assert tier in message
+
+    def test_compiled_requires_a_compiled_path(self):
+        with pytest.raises(ValueError, match="no compiled kernel"):
+            resolve_method("compiled", 100, compiled_path=False)
+
+    @needs_backend
+    def test_auto_prefers_compiled_only_with_a_compiled_path(self):
+        assert resolve_method("auto", 100, compiled_path=True) == "compiled"
+        assert resolve_method("auto", 100, compiled_path=False) == "csr"
+        assert resolve_method("auto", 10, compiled_path=True) == "dict"
+
+    @needs_backend
+    def test_undirected_only_pipelines_reject_compiled_on_digraphs(self):
+        with pytest.raises(ValueError, match="undirected-only"):
+            resolve_method(
+                "compiled", 100, directed=True, directed_csr=False,
+                compiled_path=True,
+            )
+
+    @needs_backend
+    def test_available_backend_reports_no_reason(self):
+        assert compiled_unavailable_reason() is None
+
+
+def _run_in_subprocess(code: str) -> subprocess.CompletedProcess:
+    """Run ``code`` in a fresh interpreter with the backend disabled."""
+    env = dict(os.environ)
+    env[ENV_DISABLE] = "1"
+    root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = root + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+
+
+class TestNoBackendFallback:
+    def test_auto_falls_back_silently(self):
+        proc = _run_in_subprocess(
+            "from repro.compiled import compiled_available\n"
+            "assert not compiled_available()\n"
+            "from repro.graph import connected_gnp_graph\n"
+            "from repro.spanners import greedy_spanner\n"
+            "from repro.lp.simplex import solve_standard_form\n"
+            "import numpy as np\n"
+            "g = connected_gnp_graph(30, 0.2, seed=1)\n"
+            "s = greedy_spanner(g, 3.0, method='auto')\n"
+            "assert s.num_edges > 0\n"
+            "status, x, obj = solve_standard_form(\n"
+            "    np.array([[1.0, 1.0]]), np.array([2.0]),\n"
+            "    np.array([-1.0, 0.0]), method='auto')\n"
+            "assert status == 'optimal'\n"
+            "print('fallback-ok')\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout
+
+    def test_explicit_compiled_raises_actionable_error(self):
+        proc = _run_in_subprocess(
+            "from repro.errors import CompiledBackendUnavailable\n"
+            "from repro.graph import connected_gnp_graph\n"
+            "from repro.spanners import greedy_spanner\n"
+            "g = connected_gnp_graph(30, 0.2, seed=1)\n"
+            "try:\n"
+            "    greedy_spanner(g, 3.0, method='compiled')\n"
+            "except CompiledBackendUnavailable as exc:\n"
+            "    assert 'REPRO_DISABLE_COMPILED' in str(exc)\n"
+            "    assert 'auto' in str(exc)\n"
+            "    print('raise-ok')\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "raise-ok" in proc.stdout
+
+    def test_session_auto_resolves_interpreted_tiers(self):
+        proc = _run_in_subprocess(
+            "from repro.graph import complete_graph\n"
+            "from repro.session import Session\n"
+            "from repro.spec import SpannerSpec\n"
+            "report = Session().build(\n"
+            "    SpannerSpec('greedy', stretch=3), graph=complete_graph(10))\n"
+            "assert report.resolved_method == 'indexed', report.resolved_method\n"
+            "print('session-ok')\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "session-ok" in proc.stdout

@@ -45,6 +45,7 @@ from repro.graph import (
     scenario_fault_sets,
 )
 from repro.rng import derive_rng, ensure_rng
+from repro.compiled import compiled_available
 from repro.session import Session
 from repro.spec import FaultModel, SpannerSpec
 
@@ -485,7 +486,10 @@ class TestSessionScenario:
         # the session primed the snapshot (a build or a cache hit, depending
         # on whether the host generator already warmed it)
         assert session.snapshot_builds + session.snapshot_hits == 1
-        assert report.resolved_method == "csr"
+        # the engine rides the compiled kernel when the C backend serves
+        assert report.resolved_method == (
+            "compiled" if compiled_available() else "csr"
+        )
         report2 = session.build(spec, graph=g)
         assert session.snapshot_builds + session.snapshot_hits == 2
         assert edge_set(report2.spanner) == edge_set(report.spanner)

@@ -10,6 +10,7 @@ from repro import (
     SpannerSpec,
     fault_tolerant_spanner,
 )
+from repro.compiled import compiled_available
 from repro.core import clpr_fault_tolerant_spanner, edge_fault_tolerant_spanner
 from repro.distributed import distributed_ft2_spanner, distributed_ft_spanner
 from repro.errors import InvalidSpec
@@ -269,19 +270,24 @@ class TestSnapshotReuse:
 class TestResolvedMethod:
     """Reports state the dispatch path actually taken, not the size rule."""
 
-    def test_greedy_small_graph_reports_indexed(self):
+    def test_greedy_small_graph_reports_true_kernel(self):
         graph = complete_graph(10)  # below MIN_DISPATCH_VERTICES
         report = Session().build(SpannerSpec("greedy", stretch=3), graph=graph)
-        assert report.resolved_method == "indexed"
+        # greedy dispatches by kernel availability, never by size
+        assert report.resolved_method == (
+            "compiled" if compiled_available() else "indexed"
+        )
 
-    def test_theorem21_small_graph_reports_csr_engine(self):
+    def test_theorem21_small_graph_reports_engine_tier(self):
         graph = complete_graph(10)
         report = Session().build(
             SpannerSpec("theorem21", stretch=3, faults=FaultModel.vertex(1),
                         seed=1),
             graph=graph,
         )
-        assert report.resolved_method == "csr"
+        assert report.resolved_method == (
+            "compiled" if compiled_available() else "csr"
+        )
 
     def test_dict_is_reported_as_dict(self):
         graph = complete_graph(64)

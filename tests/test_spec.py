@@ -230,7 +230,7 @@ class TestRegistry:
         for row in rows:
             assert set(row) == {
                 "name", "summary", "stretch_domain", "weighted", "directed",
-                "fault_tolerant", "distributed", "csr_path",
+                "fault_tolerant", "distributed", "csr_path", "compiled_path",
                 "fault_kinds", "stretch_kind", "fixed_stretch",
             }
 
